@@ -1,0 +1,105 @@
+"""Figure 9: Chord scalability — per-node traffic and log growth vs N.
+
+Paper result: both overheads grow only slowly with system size (the
+per-node cost follows Chord's O(log N) message growth, unlike PeerReview
+whose witness sets make the *overhead itself* grow with N). The paper
+sweeps N = 10..500; we sweep a scaled range and assert the sublinear
+shape: doubling N must far less than double per-node cost.
+"""
+
+import math
+
+import pytest
+
+from scenarios import CHORD_STABILIZATION_PERIOD_S, print_table, run_chord
+
+
+SWEEP = (8, 16, 32)
+
+
+@pytest.fixture(scope="module")
+def sweep_results():
+    out = {}
+    for n_nodes in SWEEP:
+        scenario = run_chord(n_nodes=n_nodes, rounds=2, lookups=6, seed=90)
+        dep = scenario.deployment
+        duration = scenario.nominal_duration_s
+        per_node_traffic = (
+            dep.traffic.total_bytes() / len(dep.nodes) / duration
+        )
+        baseline_traffic = (
+            dep.traffic.baseline_bytes() / len(dep.nodes) / duration
+        )
+        # Steady-state log growth: bytes beyond the post-bootstrap
+        # baseline (the paper measures a stabilized ring).
+        log_baseline = scenario.extra["log_baseline"]
+        log_bytes = sum(
+            node.log.size_bytes() - log_baseline.get(name, 0)
+            for name, node in dep.nodes.items()
+        )
+        per_node_log = log_bytes / len(dep.nodes) / duration * 60 / 1e3
+        out[n_nodes] = {
+            "traffic_Bps": per_node_traffic,
+            "baseline_Bps": baseline_traffic,
+            "log_kB_min": per_node_log,
+        }
+    return out
+
+
+class TestFigure9Shape:
+    def test_per_node_traffic_grows_sublinearly(self, sweep_results):
+        small = sweep_results[SWEEP[0]]["traffic_Bps"]
+        large = sweep_results[SWEEP[-1]]["traffic_Bps"]
+        n_ratio = SWEEP[-1] / SWEEP[0]
+        assert large / small < n_ratio / 1.5, (
+            "per-node traffic should follow O(log N), not O(N)"
+        )
+
+    def test_log_growth_sublinear(self, sweep_results):
+        small = sweep_results[SWEEP[0]]["log_kB_min"]
+        large = sweep_results[SWEEP[-1]]["log_kB_min"]
+        n_ratio = SWEEP[-1] / SWEEP[0]
+        assert large / small < n_ratio / 1.5
+
+    def test_overhead_tracks_baseline(self, sweep_results):
+        # The SNP overhead is a function of message count, so the ratio of
+        # total to baseline traffic stays roughly constant across N
+        # (PeerReview's would grow).
+        ratios = [
+            sweep_results[n]["traffic_Bps"] /
+            max(1e-9, sweep_results[n]["baseline_Bps"])
+            for n in SWEEP
+        ]
+        assert max(ratios) / min(ratios) < 1.8
+
+    def test_print_figure9(self, sweep_results, benchmark):
+        ratio = benchmark.pedantic(
+            lambda: (sweep_results[SWEEP[-1]]["traffic_Bps"]
+                     / sweep_results[SWEEP[0]]["traffic_Bps"]),
+            rounds=1, iterations=1,
+        )
+        assert ratio < (SWEEP[-1] / SWEEP[0]) / 1.5
+        rows = []
+        for n_nodes in SWEEP:
+            data = sweep_results[n_nodes]
+            rows.append([
+                n_nodes,
+                f"{data['traffic_Bps']:.1f}",
+                f"{data['baseline_Bps']:.1f}",
+                f"{data['log_kB_min']:.2f}",
+                f"{math.log2(n_nodes):.1f}",
+            ])
+        print_table(
+            "Figure 9 — Chord scalability (paper: per-node cost follows "
+            "O(log N), N = 10..500)",
+            ["N", "traffic B/s", "baseline B/s", "log kB/min", "log2 N"],
+            rows,
+        )
+
+
+class TestFigure9Benchmarks:
+    def test_ring_construction_time(self, benchmark):
+        benchmark.pedantic(
+            lambda: run_chord(n_nodes=16, rounds=1, lookups=2, seed=91),
+            rounds=1, iterations=1,
+        )

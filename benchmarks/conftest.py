@@ -1,0 +1,22 @@
+"""Shared fixtures for the figure benchmarks.
+
+The five paper configurations are expensive to build, so they are computed
+once per session and shared across benchmark modules. ``--benchmark-only``
+runs measure the *query/scenario execution*; the figure tables are printed
+to stdout (run with ``-s`` to see them) and the shape assertions run
+regardless.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from scenarios import five_configurations  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def configurations():
+    return five_configurations(seed=0)

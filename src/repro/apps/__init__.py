@@ -1,0 +1,16 @@
+"""Example applications (paper Section 6).
+
+Each application exercises a different provenance-extraction method
+(Section 5.3):
+
+* :mod:`repro.apps.mincost` / :mod:`repro.apps.pathvector` — native Datalog
+  programs (method #1, *inferred provenance*), including the running MinCost
+  example of Section 3.3;
+* :mod:`repro.apps.chord` — a declarative Chord DHT (method #1), the paper's
+  RapidNet application;
+* :mod:`repro.apps.mapreduce` — a MapReduce engine with *reported
+  provenance* (method #2), the paper's Hadoop application;
+* :mod:`repro.apps.bgp` — a BGP daemon treated as a black box behind a
+  proxy with an *external specification* of four rules including a 'maybe'
+  rule (method #3), the paper's Quagga application.
+"""

@@ -1,0 +1,53 @@
+"""The public SNP API — the paper's primary contribution in one namespace.
+
+Typical usage::
+
+    from repro.core import Deployment, QueryProcessor, Tup
+
+    dep = Deployment(seed=1)
+    dep.add_node("r1", my_app_factory)
+    ...
+    dep.run()
+    qp = QueryProcessor(dep)
+    result = qp.why(Tup("route", "r1", "10.0.0.0/8"), scope=5)
+    print(result.pretty())
+    if result.faulty_nodes():
+        print("compromised:", result.faulty_nodes())
+
+Layer map (see DESIGN.md):
+
+* model vocabulary: :class:`Tup`, :class:`Msg`, :class:`Ack`,
+  :class:`StateMachine` and its outputs :class:`Der`/:class:`Und`/
+  :class:`Snd`;
+* the provenance graph and GCA: :class:`ProvenanceGraph`,
+  :class:`GraphConstructor`, :class:`Vertex`, :class:`Color`;
+* the secure layer: :class:`Deployment`, :class:`SNooPyNode`,
+  :class:`MicroQuerier`, :class:`QueryProcessor`;
+* the Datalog substrate for building primary systems:
+  :class:`Program`, :class:`DatalogApp`, :class:`Rule`,
+  :class:`AggregateRule`, :class:`MaybeRule`, :class:`Atom`,
+  :class:`Var`, :class:`Expr`.
+"""
+
+from repro.model import (
+    Tup, Msg, Ack, Der, Und, Snd, StateMachine, PLUS, MINUS,
+)
+from repro.datalog import (
+    Var, Expr, Atom, Rule, AggregateRule, MaybeRule, choice_tuple,
+    Program, DatalogApp,
+)
+from repro.provgraph import (
+    ProvenanceGraph, GraphConstructor, Event, Vertex, Color,
+)
+from repro.snp import Deployment, SNooPyNode, MicroQuerier, QueryProcessor
+from repro.snp.query import QueryResult
+
+__all__ = [
+    "Tup", "Msg", "Ack", "Der", "Und", "Snd", "StateMachine",
+    "PLUS", "MINUS",
+    "Var", "Expr", "Atom", "Rule", "AggregateRule", "MaybeRule",
+    "choice_tuple", "Program", "DatalogApp",
+    "ProvenanceGraph", "GraphConstructor", "Event", "Vertex", "Color",
+    "Deployment", "SNooPyNode", "MicroQuerier", "QueryProcessor",
+    "QueryResult",
+]

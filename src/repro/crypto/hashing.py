@@ -1,0 +1,83 @@
+"""Hashing primitives: SHA-256 and the log hash chain.
+
+The tamper-evident log (paper Section 5.4) associates each entry
+``e_k = (t_k, y_k, c_k)`` with ``h_k = H(h_{k-1} || t_k || y_k || c_k)``,
+``h_0 = 0``. We fold the entry content in as its digest ``H(c_k)`` rather
+than the raw bytes: this is equivalent for tamper evidence (SHA-256 is
+second-preimage resistant) and lets a node prove chain continuity across a
+range of entries by revealing only ``(t, y, H(c))`` for entries whose
+content is not being disclosed — which the batched commitment protocol
+(Section 5.6) relies on.
+"""
+
+import hashlib
+
+from repro.util.serialization import canonical_bytes
+
+GENESIS_HASH = "0" * 64
+
+
+def sha256_hex(data):
+    """SHA-256 of *data* (bytes or canonically-encodable value), hex digest."""
+    if not isinstance(data, (bytes, bytearray)):
+        data = canonical_bytes(data)
+    return hashlib.sha256(data).hexdigest()
+
+
+def content_digest(content):
+    """Digest of an entry's content field."""
+    return sha256_hex(content)
+
+
+def chain_hash(prev_hash, timestamp, entry_type, content_hash):
+    """Compute ``h_k`` from ``h_{k-1}`` and the entry fields."""
+    return sha256_hex((prev_hash, timestamp, entry_type, content_hash))
+
+
+class HashChain:
+    """An append-only hash chain over log entries.
+
+    Keeps the full sequence of per-entry hashes so that any prefix can be
+    authenticated: an authenticator signing ``h_k`` commits the signer to the
+    exact contents of entries ``e_1 .. e_k``.
+    """
+
+    def __init__(self):
+        self._hashes = [GENESIS_HASH]
+
+    def __len__(self):
+        """Number of entries appended so far."""
+        return len(self._hashes) - 1
+
+    def append(self, timestamp, entry_type, content_hash):
+        """Fold one entry into the chain; returns its hash ``h_k``."""
+        new_hash = chain_hash(
+            self._hashes[-1], timestamp, entry_type, content_hash
+        )
+        self._hashes.append(new_hash)
+        return new_hash
+
+    def head(self):
+        """Hash of the latest entry (``h_0`` if empty)."""
+        return self._hashes[-1]
+
+    def hash_at(self, index):
+        """``h_index`` where index counts entries from 1 (0 = genesis)."""
+        return self._hashes[index]
+
+    @staticmethod
+    def verify_segment(start_hash, entries):
+        """Recompute the chain over ``entries`` starting from *start_hash*.
+
+        Each entry must expose ``timestamp``, ``entry_type`` and
+        ``content_hash`` attributes. Returns the successive hashes (one per
+        entry).
+        """
+        hashes = []
+        current = start_hash
+        for entry in entries:
+            current = chain_hash(
+                current, entry.timestamp, entry.entry_type, entry.content_hash
+            )
+            hashes.append(current)
+        return hashes

@@ -1,0 +1,84 @@
+"""Merkle hash trees for checkpoint verification.
+
+Section 7.7 of the paper notes that the Quagga-Disappear query spent most of
+its time "verifying partial checkpoints using a Merkle Hash Tree". A
+checkpoint commits to the node's full tuple set at some instant; at query
+time only the tuples relevant to the query need to be transferred, together
+with a Merkle inclusion proof against the root hash recorded in the log.
+"""
+
+import hashlib
+
+from repro.util.serialization import canonical_bytes
+
+
+def _leaf_hash(value):
+    return hashlib.sha256(b"leaf:" + canonical_bytes(value)).hexdigest()
+
+
+def _node_hash(left, right):
+    return hashlib.sha256(
+        b"node:" + left.encode("ascii") + right.encode("ascii")
+    ).hexdigest()
+
+
+EMPTY_ROOT = hashlib.sha256(b"empty-merkle-tree").hexdigest()
+
+
+class MerkleTree:
+    """A Merkle tree over an ordered list of canonically-encodable leaves."""
+
+    def __init__(self, leaves):
+        self.leaves = list(leaves)
+        self._levels = [[_leaf_hash(leaf) for leaf in self.leaves]]
+        if not self._levels[0]:
+            self._levels = [[]]
+            return
+        while len(self._levels[-1]) > 1:
+            level = self._levels[-1]
+            parents = []
+            for i in range(0, len(level), 2):
+                left = level[i]
+                right = level[i + 1] if i + 1 < len(level) else left
+                parents.append(_node_hash(left, right))
+            self._levels.append(parents)
+
+    def root(self):
+        """Root hash (a fixed constant for an empty tree)."""
+        if not self.leaves:
+            return EMPTY_ROOT
+        return self._levels[-1][0]
+
+    def proof(self, index):
+        """Inclusion proof for the leaf at *index*.
+
+        Returns a list of (sibling_hash, sibling_is_left) pairs from leaf
+        level to root.
+        """
+        if not 0 <= index < len(self.leaves):
+            raise IndexError("leaf index out of range")
+        path = []
+        position = index
+        for level in self._levels[:-1]:
+            if position % 2 == 0:
+                sibling_index = position + 1
+                sibling_is_left = False
+            else:
+                sibling_index = position - 1
+                sibling_is_left = True
+            if sibling_index >= len(level):
+                sibling_index = position  # odd level: node paired with itself
+            path.append((level[sibling_index], sibling_is_left))
+            position //= 2
+        return path
+
+    @staticmethod
+    def verify_proof(leaf, proof, root):
+        """Check an inclusion proof produced by :meth:`proof`."""
+        current = _leaf_hash(leaf)
+        for sibling, sibling_is_left in proof:
+            if sibling_is_left:
+                current = _node_hash(sibling, current)
+            else:
+                current = _node_hash(current, sibling)
+        return current == root

@@ -1,0 +1,36 @@
+"""Distributed Datalog (DDlog/ExSPAN-style) engine.
+
+The paper's primary systems are modeled as tuples plus derivation rules
+(Section 3.1): ``τ@n ← τ1@n1 ∧ … ∧ τk@nk``. This package provides:
+
+* :mod:`repro.datalog.ast` — an embedded rule DSL (variables, guards, head
+  expressions, aggregate and ``maybe`` rules);
+* :mod:`repro.datalog.store` — per-node tuple storage with derivation
+  refcounts and believed remote tuples;
+* :mod:`repro.datalog.engine` — :class:`DatalogApp`, a deterministic
+  :class:`repro.model.StateMachine` that incrementally maintains derivations
+  and emits ``+τ/−τ`` notifications for rules whose head lives on another
+  node.
+
+Rules follow the standard declarative-networking localization convention:
+every body atom of a rule shares one location term, which is bound to the
+evaluating node; the head's location may name a different node, in which
+case the derived tuple is pushed there with an update message (exactly the
+structure of Figure 2 in the paper, where node b derives ``cost(@c,d,b,5)``
+and sends it to c).
+"""
+
+from repro.datalog.ast import Var, Expr, Atom, Rule, AggregateRule, MaybeRule, choice_tuple
+from repro.datalog.engine import DatalogApp, Program
+
+__all__ = [
+    "Var",
+    "Expr",
+    "Atom",
+    "Rule",
+    "AggregateRule",
+    "MaybeRule",
+    "choice_tuple",
+    "DatalogApp",
+    "Program",
+]

@@ -1,0 +1,241 @@
+"""Embedded DSL for derivation rules.
+
+Rules are constructed programmatically (there is no text parser; programs
+are small and a Python DSL keeps them type-checked):
+
+    X, Y, K = Var("X"), Var("Y"), Var("K")
+    r1 = Rule(
+        "R1",
+        head=Atom("cost", X, Y, Y, K),
+        body=[Atom("link", X, Y, K)],
+    )
+
+The first term of every atom is its location (the ``@`` argument). All body
+atoms of one rule must share the same location term; the head location may
+differ (a remote-headed rule, which makes the engine send ``+τ/−τ``
+notifications to the head's node).
+"""
+
+from repro.model import Tup
+from repro.util.errors import ConfigurationError
+
+
+class Var:
+    """A rule variable, matched by unification."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name):
+        self.name = name
+
+    def __repr__(self):
+        return self.name
+
+    def __eq__(self, other):
+        return isinstance(other, Var) and self.name == other.name
+
+    def __hash__(self):
+        return hash(("var", self.name))
+
+
+class Expr:
+    """A computed head term: a pure function of the bound variables.
+
+    ``Expr(lambda b: b["K1"] + b["K2"], "K1+K2")`` — the label is only used
+    for display. Expressions must be deterministic and side-effect free
+    (assumption 6 in the paper: node computation is deterministic).
+    """
+
+    __slots__ = ("fn", "label")
+
+    def __init__(self, fn, label="<expr>"):
+        self.fn = fn
+        self.label = label
+
+    def __repr__(self):
+        return self.label
+
+    def evaluate(self, bindings):
+        return self.fn(bindings)
+
+
+class Atom:
+    """A relation pattern: ``relation(@loc_term, *terms)``.
+
+    Terms may be :class:`Var`, constants, or (in heads only) :class:`Expr`.
+    """
+
+    __slots__ = ("relation", "loc", "terms")
+
+    def __init__(self, relation, loc, *terms):
+        self.relation = relation
+        self.loc = loc
+        self.terms = tuple(terms)
+
+    def __repr__(self):
+        inner = ", ".join([f"@{self.loc!r}"] + [repr(t) for t in self.terms])
+        return f"{self.relation}({inner})"
+
+    def match(self, tup, bindings):
+        """Unify this atom against *tup* given existing *bindings*.
+
+        Returns the extended bindings dict, or None on mismatch. Does not
+        mutate *bindings*.
+        """
+        if tup.relation != self.relation or len(tup.args) != len(self.terms):
+            return None
+        new = dict(bindings)
+        for term, value in zip((self.loc,) + self.terms, (tup.loc,) + tup.args):
+            if isinstance(term, Var):
+                if term.name in new:
+                    if new[term.name] != value:
+                        return None
+                else:
+                    new[term.name] = value
+            elif isinstance(term, Expr):
+                return None  # expressions are head-only
+            elif term != value:
+                return None
+        return new
+
+    def instantiate(self, bindings):
+        """Build a ground :class:`Tup` from *bindings* (head atoms)."""
+        values = []
+        for term in (self.loc,) + self.terms:
+            if isinstance(term, Var):
+                if term.name not in bindings:
+                    raise ConfigurationError(
+                        f"unbound head variable {term.name} in {self!r}"
+                    )
+                values.append(bindings[term.name])
+            elif isinstance(term, Expr):
+                values.append(term.evaluate(bindings))
+            else:
+                values.append(term)
+        return Tup(self.relation, values[0], *values[1:])
+
+
+def _check_colocated(name, body):
+    if not body:
+        raise ConfigurationError(f"rule {name}: empty body")
+    loc = body[0].loc
+    for atom in body[1:]:
+        if atom.loc != loc:
+            raise ConfigurationError(
+                f"rule {name}: body atoms must share one location term "
+                f"(localization convention); got {body[0]!r} vs {atom!r}"
+            )
+    return loc
+
+
+class Rule:
+    """An ordinary derivation rule ``head ← body [where guards]``.
+
+    *guards* is a list of predicates over the bindings dict, evaluated after
+    the body is fully bound; a binding only derives the head if every guard
+    returns True. Guards must be pure and deterministic.
+    """
+
+    kind = "rule"
+
+    def __init__(self, name, head, body, guards=()):
+        self.name = name
+        self.head = head
+        self.body = list(body)
+        self.guards = tuple(guards)
+        self.body_loc = _check_colocated(name, self.body)
+
+    def __repr__(self):
+        return f"Rule({self.name}: {self.head!r} :- {self.body!r})"
+
+
+class AggregateRule:
+    """An aggregate rule, e.g. ``bestCost(@X,Y,min<K>) ← cost(@X,Y,Z,K)``.
+
+    The head contains exactly one :class:`Agg` marker term produced by the
+    ``agg`` argument: ``AggregateRule("R3", head=Atom("bestCost", X, Y, K),
+    body=[Atom("cost", X, Y, Z, K)], agg_var=K, func="min")``. Group keys are
+    the head's non-aggregated variables. Supported functions: min, max, sum,
+    count. For min/max the reported provenance support is the single witness
+    tuple achieving the optimum (deterministic tie-break); for sum/count it
+    is the full group.
+    """
+
+    kind = "aggregate"
+    FUNCS = ("min", "max", "sum", "count")
+
+    def __init__(self, name, head, body, agg_var, func, guards=(), key=None):
+        if func not in self.FUNCS:
+            raise ConfigurationError(f"rule {name}: unknown aggregate {func}")
+        #: Optional comparison key for min/max (e.g. shortest-path-first for
+        #: path vectors); must be pure and deterministic.
+        self.key = key
+        if len(body) != 1:
+            raise ConfigurationError(
+                f"rule {name}: aggregate rules take exactly one body atom"
+            )
+        self.name = name
+        self.head = head
+        self.body = list(body)
+        self.agg_var = agg_var
+        self.func = func
+        self.guards = tuple(guards)
+        self.body_loc = _check_colocated(name, self.body)
+        head_vars = [t for t in (head.loc,) + head.terms if isinstance(t, Var)]
+        if agg_var not in head_vars:
+            raise ConfigurationError(
+                f"rule {name}: aggregate variable {agg_var} must appear in head"
+            )
+        self.group_vars = tuple(v for v in head_vars if v != agg_var)
+
+    def __repr__(self):
+        return (
+            f"AggregateRule({self.name}: {self.head!r} :- "
+            f"{self.func}<{self.agg_var!r}> {self.body!r})"
+        )
+
+
+CHOICE_PREFIX = "__choice__"
+
+
+def choice_tuple(rule_name, node, *args):
+    """The choice token that activates a :class:`MaybeRule` binding.
+
+    Per Appendix A.1 of the paper, a maybe rule is equivalent to an ordinary
+    rule with an extra base tuple β that the node inserts or deletes when it
+    decides to (stop) deriving the head. This constructs that β for the given
+    head argument values.
+    """
+    return Tup(CHOICE_PREFIX + rule_name, node, *args)
+
+
+class MaybeRule:
+    """A 'maybe' rule (Section 3.4): derivation is at the node's discretion.
+
+    The engine adds a hidden body atom — the choice token over the head's
+    argument terms — so the head is derived exactly while both the body holds
+    *and* the node has inserted the matching :func:`choice_tuple`. The token
+    shows up in provenance as a base-tuple insert, which is the paper's
+    intended meaning: the node's (possibly confidential or black-box)
+    decision is itself a root cause.
+    """
+
+    kind = "maybe"
+
+    def __init__(self, name, head, body, guards=()):
+        self.name = name
+        self.head = head
+        self.guards = tuple(guards)
+        head_terms = (head.loc,) + head.terms
+        for term in head_terms:
+            if isinstance(term, Expr):
+                raise ConfigurationError(
+                    f"maybe rule {name}: head expressions unsupported "
+                    "(the choice token must mirror head terms)"
+                )
+        token_atom = Atom(CHOICE_PREFIX + name, *head_terms)
+        self.body = list(body) + [token_atom]
+        self.body_loc = _check_colocated(name, self.body)
+
+    def __repr__(self):
+        return f"MaybeRule({self.name}: {self.head!r} maybe:- {self.body!r})"

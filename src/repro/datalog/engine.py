@@ -1,0 +1,345 @@
+"""The incremental Datalog engine: a deterministic node state machine.
+
+:class:`DatalogApp` implements :class:`repro.model.StateMachine` over a
+:class:`Program` of rules. It maintains derivations incrementally:
+
+* a base-tuple insert/delete or an incoming ``+τ/−τ`` notification starts a
+  cascade of (un)derivations, processed from a FIFO worklist in a canonical
+  deterministic order (assumption 6 of the paper: node computation must be
+  deterministic, since replay regenerates the provenance graph);
+* a derivation whose head is located on another node emits a ``Snd`` output
+  pushing ``+τ`` there (``−τ`` when the derivation is lost), exactly the
+  cross-node notification protocol of Section 3.1;
+* aggregate rules (min/max/sum/count) are recomputed per group whenever a
+  contributing tuple changes; value changes surface as an ``Und`` of the old
+  head followed by a ``Der`` of the new one.
+
+Multiple simultaneous derivations of one tuple are tracked with reference
+counts; the reported provenance is the first surviving derivation (the
+unique-derivation simplification of Appendix A.1, see DESIGN.md).
+"""
+
+from collections import deque
+
+from repro.datalog.ast import Var, Rule, AggregateRule, MaybeRule
+from repro.datalog.store import TupleStore, DerivationInstance
+from repro.model import Ack, Der, Snd, StateMachine, Und, MINUS, PLUS
+from repro.util.errors import ConfigurationError
+from repro.util.serialization import canonical_bytes
+
+
+class Program:
+    """An ordered collection of rules, indexed by body relation."""
+
+    def __init__(self, rules=()):
+        self.rules = []
+        self._by_body_relation = {}
+        for rule in rules:
+            self.add(rule)
+
+    def add(self, rule):
+        if not isinstance(rule, (Rule, AggregateRule, MaybeRule)):
+            raise ConfigurationError(f"not a rule: {rule!r}")
+        index = len(self.rules)
+        self.rules.append(rule)
+        for pos, atom in enumerate(rule.body):
+            self._by_body_relation.setdefault(atom.relation, []).append(
+                (index, rule, pos)
+            )
+        return rule
+
+    def triggers_for(self, relation):
+        """(rule_index, rule, body_position) triples whose body uses *relation*."""
+        return self._by_body_relation.get(relation, ())
+
+
+def _seed_bindings(rule, node_id):
+    """Bind the rule's shared body location to this node (or None if the
+    rule cannot evaluate here because its body location is a different
+    constant)."""
+    loc = rule.body_loc
+    if isinstance(loc, Var):
+        return {loc.name: node_id}
+    return {} if loc == node_id else None
+
+
+class DatalogApp(StateMachine):
+    """A deterministic Datalog state machine for one node."""
+
+    def __init__(self, node_id, program):
+        super().__init__(node_id)
+        self.program = program
+        self.store = TupleStore(node_id)
+        # (rule_index, group_key) -> (head_tup, support) for aggregate heads
+        self._agg_current = {}
+
+    # ------------------------------------------------------------------ API
+
+    def handle_insert(self, tup, t):
+        outputs = []
+        if self.store.add_base(tup, t):
+            self._run_cascade([("appear", tup, None)], t, outputs)
+        return outputs
+
+    def handle_delete(self, tup, t):
+        outputs = []
+        if self.store.remove_base(tup):
+            self._run_cascade([("disappear", tup, None)], t, outputs)
+        return outputs
+
+    def handle_receive(self, msg, t):
+        if isinstance(msg, Ack):
+            return []
+        outputs = []
+        if msg.polarity == PLUS:
+            if self.store.add_belief(msg.tup, msg.src, t):
+                self._run_cascade([("appear", msg.tup, None)], t, outputs)
+        else:
+            if self.store.remove_belief(msg.tup, msg.src):
+                self._run_cascade([("disappear", msg.tup, None)], t, outputs)
+        return outputs
+
+    # ------------------------------------------------------- cascade engine
+
+    def _run_cascade(self, initial_events, t, outputs):
+        """Drain the derivation worklist to a fixpoint, deterministically.
+
+        Events are ("appear"|"disappear", tup, der_info). ``der_info`` is
+        (rule_name, support, replaces) when the event is a derivation this
+        cascade produced (so the Der/Und output can be emitted); None for
+        base/belief changes whose vertices come from the triggering log
+        event itself.
+        """
+        worklist = deque(initial_events)
+        dirty_groups = []
+        dirty_seen = set()
+        while worklist or dirty_groups:
+            if not worklist:
+                # Recompute one aggregate group; may enqueue more events.
+                key = dirty_groups.pop(0)
+                dirty_seen.discard(key)
+                self._recompute_group(key, t, worklist)
+                continue
+            kind, tup, der_info = worklist.popleft()
+            if kind == "appear":
+                self._emit_appear(tup, der_info, t, outputs)
+                self._match_rules_on_appear(tup, t, worklist, dirty_groups,
+                                            dirty_seen)
+            else:
+                self._emit_disappear(tup, der_info, t, outputs)
+                self._retract_on_disappear(tup, t, worklist, dirty_groups,
+                                           dirty_seen)
+
+    def _emit_appear(self, tup, der_info, t, outputs):
+        if der_info is not None:
+            rule_name, support, replaces = der_info
+            outputs.append(Der(tup, rule_name, support, replaces=replaces))
+        if tup.loc != self.node_id:
+            outputs.append(Snd(self.make_msg(PLUS, tup, tup.loc, t)))
+
+    def _emit_disappear(self, tup, der_info, t, outputs):
+        if der_info is not None:
+            rule_name, support, _ = der_info
+            outputs.append(Und(tup, rule_name, support))
+        if tup.loc != self.node_id:
+            outputs.append(Snd(self.make_msg(MINUS, tup, tup.loc, t)))
+
+    # -- appearance: find newly satisfied rule instances ---------------------
+
+    def _match_rules_on_appear(self, tup, t, worklist, dirty_groups, dirty_seen):
+        if tup.loc != self.node_id:
+            return  # not visible here; only the head's node can match it
+        for rule_index, rule, pos in self.program.triggers_for(tup.relation):
+            if isinstance(rule, AggregateRule):
+                self._mark_dirty(rule_index, rule, tup,
+                                 dirty_groups, dirty_seen)
+                continue
+            seed = _seed_bindings(rule, self.node_id)
+            if seed is None:
+                continue
+            bound = rule.body[pos].match(tup, seed)
+            if bound is None:
+                continue
+            for bindings, support in self._join(rule, pos, bound, tup):
+                if not all(guard(bindings) for guard in rule.guards):
+                    continue
+                head = rule.head.instantiate(bindings)
+                instance = DerivationInstance(rule.name, support)
+                is_new, appeared = self.store.add_derivation(head, instance, t)
+                if is_new and appeared:
+                    worklist.append(
+                        ("appear", head, (rule.name, support, None))
+                    )
+
+    def _join(self, rule, fixed_pos, bindings, fixed_tup):
+        """Enumerate full body matches with position *fixed_pos* pinned.
+
+        Yields (bindings, support) pairs in canonical deterministic order;
+        *support* lists the matched ground tuple per body atom, in body
+        order.
+        """
+        results = []
+
+        def recurse(pos, current, support):
+            if pos == len(rule.body):
+                results.append((current, tuple(support)))
+                return
+            if pos == fixed_pos:
+                support.append(fixed_tup)
+                recurse(pos + 1, current, support)
+                support.pop()
+                return
+            atom = rule.body[pos]
+            for candidate in self.store.visible(atom.relation):
+                extended = atom.match(candidate, current)
+                if extended is not None:
+                    support.append(candidate)
+                    recurse(pos + 1, extended, support)
+                    support.pop()
+
+        recurse(0, bindings, [])
+        results.sort(key=lambda pair: canonical_bytes(
+            tuple(s.canonical() for s in pair[1])
+        ))
+        return results
+
+    # -- disappearance: retract dependent derivations -------------------------
+
+    def _retract_on_disappear(self, tup, t, worklist, dirty_groups, dirty_seen):
+        if tup.loc != self.node_id:
+            return
+        for rule_index, rule, _pos in self.program.triggers_for(tup.relation):
+            if isinstance(rule, AggregateRule):
+                self._mark_dirty(rule_index, rule, tup,
+                                 dirty_groups, dirty_seen)
+        removed = self.store.remove_derivations_supported_by(tup)
+        for head, instance, disappeared in removed:
+            if disappeared:
+                worklist.append(
+                    ("disappear", head, (instance.rule, instance.support, None))
+                )
+
+    # -- aggregates ---------------------------------------------------------
+
+    def _mark_dirty(self, rule_index, rule, tup, dirty_groups, dirty_seen):
+        seed = _seed_bindings(rule, self.node_id)
+        if seed is None:
+            return
+        bindings = rule.body[0].match(tup, seed)
+        if bindings is None:
+            return
+        if not all(guard(bindings) for guard in rule.guards):
+            # The guard may reference the agg var; group membership is
+            # re-derived during recompute anyway, so only skip when the
+            # guard is clearly binding-independent. Conservatively mark.
+            pass
+        group_key = tuple(bindings.get(v.name) for v in rule.group_vars)
+        key = (rule_index, group_key)
+        if key not in dirty_seen:
+            dirty_seen.add(key)
+            dirty_groups.append(key)
+
+    def _recompute_group(self, key, t, worklist):
+        rule_index, group_key = key
+        rule = self.program.rules[rule_index]
+        seed = _seed_bindings(rule, self.node_id)
+        if seed is None:
+            return
+        members = []
+        atom = rule.body[0]
+        for candidate in self.store.visible(atom.relation):
+            bindings = atom.match(candidate, seed)
+            if bindings is None:
+                continue
+            if not all(guard(bindings) for guard in rule.guards):
+                continue
+            cand_key = tuple(bindings.get(v.name) for v in rule.group_vars)
+            if cand_key != group_key:
+                continue
+            members.append((bindings, candidate))
+
+        old = self._agg_current.get(key)
+        new_head, new_support, new_bindings = self._aggregate(
+            rule, group_key, members
+        )
+        old_head = old[0] if old else None
+        if new_head == old_head:
+            if old and new_head is not None and old[1] != new_support:
+                # Same value, different witness: silently re-support (the
+                # head never ceased to hold, so no der/und churn).
+                self._agg_current[key] = (new_head, new_support)
+            return
+        if old_head is not None:
+            instance = DerivationInstance(rule.name, ())
+            if self.store.remove_derivation(old_head, instance):
+                worklist.append(
+                    ("disappear", old_head, (rule.name, old[1], None))
+                )
+            del self._agg_current[key]
+        if new_head is not None:
+            instance = DerivationInstance(rule.name, ())
+            _is_new, appeared = self.store.add_derivation(new_head, instance, t)
+            self._agg_current[key] = (new_head, new_support)
+            if appeared:
+                worklist.append(
+                    ("appear", new_head, (rule.name, new_support, None))
+                )
+
+    def _aggregate(self, rule, group_key, members):
+        """Compute (head, support, bindings) for a group; head None if empty."""
+        if not members:
+            return None, (), None
+        var = rule.agg_var.name
+        if rule.func in ("min", "max"):
+            chooser = min if rule.func == "min" else max
+            value_key = rule.key if rule.key is not None else (lambda v: v)
+            best = chooser(
+                members,
+                key=lambda m: (value_key(m[0][var]),
+                               canonical_bytes(m[1].canonical())),
+            )
+            bindings, witness = best
+            head = rule.head.instantiate(bindings)
+            return head, (witness,), bindings
+        if rule.func == "sum":
+            value = sum(m[0][var] for m in members)
+        else:  # count
+            value = len(members)
+        bindings = dict(members[0][0])
+        bindings[var] = value
+        head = rule.head.instantiate(bindings)
+        support = tuple(m[1] for m in members)
+        return head, support, bindings
+
+    # ------------------------------------------------------------ checkpoints
+
+    def snapshot(self):
+        snap = super().snapshot()
+        snap["store"] = self.store.snapshot()
+        snap["agg"] = {
+            key: (head, support)
+            for key, (head, support) in self._agg_current.items()
+        }
+        return snap
+
+    def restore(self, snap):
+        super().restore(snap)
+        self.store.restore(snap["store"])
+        self._agg_current = {
+            key: (head, support) for key, (head, support) in snap["agg"].items()
+        }
+
+    def extant_tuples(self):
+        return self.store.all_local()
+
+    def believed_tuples(self):
+        return self.store.all_beliefs()
+
+    # ------------------------------------------------------------- inspection
+
+    def has_tuple(self, tup):
+        return self.store.present(tup)
+
+    def tuples_of(self, relation):
+        """All present tuples of *relation* visible at this node."""
+        return self.store.visible(relation)

@@ -1,0 +1,249 @@
+"""A text parser for the rule DSL (DDlog-style surface syntax).
+
+The paper's prototype expresses programs in Distributed Datalog. This
+parser accepts a compact textual form and produces a :class:`Program`:
+
+    # MinCost (paper Section 3.3)
+    R1: cost(@X, Y, Y, K) :- link(@X, Y, K).
+    R2: cost(@C, D, X, K1+K2) :- link(@X, C, K1), bestCost(@X, D, K2),
+        C != D.
+    R3: bestCost(@X, D, min<K>) :- cost(@X, D, Z, K).
+
+Syntax:
+
+* ``Name: head :- body.`` — one rule per ``.``-terminated clause; ``#``
+  starts a comment.
+* Upper-case identifiers are variables; quoted strings and numerals are
+  constants; the first argument of every atom must be the ``@location``.
+* Head arguments may be arithmetic expressions over variables
+  (``K1+K2``, ``K*2``); they compile to :class:`Expr`.
+* Comparisons in the body (``X != Y``, ``K < 10``) become guards.
+* ``min<K>`` / ``max<K>`` / ``sum<K>`` / ``count<K>`` in the head makes
+  the rule an :class:`AggregateRule`.
+* ``:~`` instead of ``:-`` declares a :class:`MaybeRule`.
+"""
+
+import re
+
+from repro.datalog.ast import (
+    AggregateRule, Atom, Expr, MaybeRule, Rule, Var,
+)
+from repro.datalog.engine import Program
+from repro.util.errors import ConfigurationError
+
+_TOKEN = re.compile(r"""
+      (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+    | (?P<number>-?\d+(\.\d+)?)
+    | (?P<string>'[^']*'|"[^\"]*")
+    | (?P<op><=|>=|!=|==|:-|:~|[-+*/(),.@<>:])
+    | (?P<ws>\s+)
+""", re.VERBOSE)
+
+_COMPARE_OPS = {"<", ">", "<=", ">=", "!=", "=="}
+_AGG_FUNCS = ("min", "max", "sum", "count")
+
+
+def _tokenize(text):
+    tokens = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN.match(text, position)
+        if match is None:
+            raise ConfigurationError(
+                f"rule syntax error at ...{text[position:position + 20]!r}"
+            )
+        position = match.end()
+        if match.lastgroup == "ws":
+            continue
+        tokens.append((match.lastgroup, match.group()))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.position = 0
+
+    def peek(self, offset=0):
+        index = self.position + offset
+        return self.tokens[index] if index < len(self.tokens) else (None, None)
+
+    def take(self, expected=None):
+        kind, value = self.peek()
+        if kind is None:
+            raise ConfigurationError("unexpected end of rule")
+        if expected is not None and value != expected:
+            raise ConfigurationError(
+                f"expected {expected!r}, got {value!r}"
+            )
+        self.position += 1
+        return kind, value
+
+    def at_end(self):
+        return self.position >= len(self.tokens)
+
+    # --------------------------------------------------------- components
+
+    def parse_rule(self):
+        _kind, name = self.take()
+        self.take(":")
+        head, agg = self.parse_atom(allow_expr=True, allow_agg=True)
+        _kind, arrow = self.take()
+        if arrow not in (":-", ":~"):
+            raise ConfigurationError(f"expected ':-' or ':~', got {arrow!r}")
+        body = []
+        guards = []
+        while True:
+            if self.peek()[1] == ".":
+                self.take(".")
+                break
+            if self._next_is_comparison():
+                guards.append(self.parse_comparison())
+            else:
+                atom, body_agg = self.parse_atom()
+                if body_agg is not None:
+                    raise ConfigurationError(
+                        f"rule {name}: aggregates are head-only"
+                    )
+                body.append(atom)
+            if self.peek()[1] == ",":
+                self.take(",")
+        if agg is not None:
+            func, agg_var = agg
+            if arrow == ":~":
+                raise ConfigurationError(
+                    f"rule {name}: a maybe rule cannot aggregate"
+                )
+            return AggregateRule(name, head, body, agg_var=agg_var,
+                                 func=func, guards=tuple(guards))
+        if arrow == ":~":
+            return MaybeRule(name, head, body, guards=tuple(guards))
+        return Rule(name, head, body, guards=tuple(guards))
+
+    def _next_is_comparison(self):
+        """A comparison clause starts with a term followed by a compare op
+        (an atom starts with name + '(')."""
+        kind, value = self.peek()
+        if kind == "name" and self.peek(1)[1] == "(":
+            return False
+        return True
+
+    def parse_atom(self, allow_expr=True, allow_agg=False):
+        _kind, relation = self.take()
+        self.take("(")
+        self.take("@")
+        loc = self.parse_term(allow_expr=False)
+        terms = []
+        agg = None
+        while self.peek()[1] != ")":
+            self.take(",")
+            kind, value = self.peek()
+            if (allow_agg and kind == "name" and value in _AGG_FUNCS
+                    and self.peek(1)[1] == "<"):
+                self.take()          # func
+                self.take("<")
+                _k, var_name = self.take()
+                self.take(">")
+                agg_var = Var(var_name)
+                agg = (value, agg_var)
+                terms.append(agg_var)
+            else:
+                terms.append(self.parse_term(allow_expr=allow_expr))
+        self.take(")")
+        return Atom(relation, loc, *terms), agg
+
+    def parse_term(self, allow_expr=True):
+        """A term: constant, variable, or (head-only) arithmetic over
+        variables and constants."""
+        expr_tokens = [self.parse_operand()]
+        while allow_expr and self.peek()[1] in ("+", "-", "*", "/"):
+            _k, op = self.take()
+            expr_tokens.append(op)
+            expr_tokens.append(self.parse_operand())
+        if len(expr_tokens) == 1:
+            return expr_tokens[0]
+        return _compile_expression(expr_tokens)
+
+    def parse_operand(self):
+        kind, value = self.take()
+        if kind == "number":
+            return float(value) if "." in value else int(value)
+        if kind == "string":
+            return value[1:-1]
+        if kind == "name":
+            if value[0].isupper():
+                return Var(value)
+            return value  # lower-case bare word: a constant symbol
+        raise ConfigurationError(f"unexpected token {value!r} in term")
+
+    def parse_comparison(self):
+        left = self.parse_term()
+        _kind, op = self.take()
+        if op not in _COMPARE_OPS:
+            raise ConfigurationError(f"expected comparison, got {op!r}")
+        right = self.parse_term()
+        return _compile_guard(left, op, right)
+
+
+def _value_of(term, bindings):
+    if isinstance(term, Var):
+        return bindings[term.name]
+    if isinstance(term, Expr):
+        return term.evaluate(bindings)
+    return term
+
+
+def _compile_expression(parts):
+    """Fold [operand, op, operand, ...] left to right into an Expr."""
+    label = "".join(
+        part if isinstance(part, str) else repr(part) for part in parts
+    )
+
+    def evaluate(bindings):
+        accumulator = _value_of(parts[0], bindings)
+        index = 1
+        while index < len(parts):
+            op = parts[index]
+            value = _value_of(parts[index + 1], bindings)
+            if op == "+":
+                accumulator = accumulator + value
+            elif op == "-":
+                accumulator = accumulator - value
+            elif op == "*":
+                accumulator = accumulator * value
+            else:
+                accumulator = accumulator / value
+            index += 2
+        return accumulator
+
+    return Expr(evaluate, label)
+
+
+def _compile_guard(left, op, right):
+    import operator
+    fn = {
+        "<": operator.lt, ">": operator.gt, "<=": operator.le,
+        ">=": operator.ge, "!=": operator.ne, "==": operator.eq,
+    }[op]
+
+    def guard(bindings):
+        return fn(_value_of(left, bindings), _value_of(right, bindings))
+
+    return guard
+
+
+def parse_rules(text):
+    """Parse a program text into a list of rules."""
+    stripped = "\n".join(
+        line.split("#", 1)[0] for line in text.splitlines()
+    )
+    parser = _Parser(_tokenize(stripped))
+    rules = []
+    while not parser.at_end():
+        rules.append(parser.parse_rule())
+    return rules
+
+
+def parse_program(text):
+    """Parse a program text into a :class:`Program`."""
+    return Program(parse_rules(text))

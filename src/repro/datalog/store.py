@@ -1,0 +1,280 @@
+"""Per-node tuple storage with derivation refcounts and beliefs.
+
+A node's store tracks three things:
+
+* **local tuples** — base insertions and rule derivations made on this node
+  (including derivations whose head is located on another node, which this
+  node hosts and pushes to the head's node);
+* **believed tuples** — remote tuples this node has been notified of via
+  ``+τ`` messages (Section 3.2's believe vertices);
+* **derivation instances** — (rule, support) pairs per derived tuple, the
+  logical reference counter of Section 3.1 ("if a tuple has more than one
+  derivation, we can distinguish between them using a logical reference
+  counter").
+
+A tuple participates in rule matching on this node iff it is *visible*:
+present (locally or as a belief) and located here (``loc == node``). A
+locally derived tuple whose head is remote exists here but is matchable only
+at the remote node once believed there.
+"""
+
+from repro.util.serialization import canonical_bytes
+
+
+class DerivationInstance:
+    """One concrete way a tuple was derived: rule name + ground supports."""
+
+    __slots__ = ("rule", "support")
+
+    def __init__(self, rule, support):
+        self.rule = rule
+        self.support = tuple(support)
+
+    def key(self):
+        return (self.rule, self.support)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, DerivationInstance) and self.key() == other.key()
+        )
+
+    def __hash__(self):
+        return hash(("derivation", self.rule, self.support))
+
+    def __repr__(self):
+        return f"DerivationInstance({self.rule}, {self.support!r})"
+
+
+class TupleStore:
+    def __init__(self, node_id):
+        self.node_id = node_id
+        self._base_count = {}        # tup -> int
+        self._derivations = {}       # tup -> dict key -> DerivationInstance
+        self._beliefs = {}           # tup -> dict peer -> int
+        self._by_support = {}        # support tup -> set of (head, instance key)
+        self._visible = {}           # relation -> set of visible tups
+        self._appeared_at = {}       # tup -> local time it became present
+        self._believe_peer = {}      # tup -> peer whose notification created belief
+
+    # -- presence ----------------------------------------------------------
+
+    def locally_present(self, tup):
+        return (
+            self._base_count.get(tup, 0) > 0
+            or bool(self._derivations.get(tup))
+        )
+
+    def believed(self, tup):
+        counts = self._beliefs.get(tup)
+        return bool(counts) and any(c > 0 for c in counts.values())
+
+    def present(self, tup):
+        return self.locally_present(tup) or self.believed(tup)
+
+    def is_base(self, tup):
+        return self._base_count.get(tup, 0) > 0
+
+    def belief_peer(self, tup):
+        """The peer this node believes *tup* from (None if not a belief)."""
+        return self._believe_peer.get(tup)
+
+    def appeared_at(self, tup):
+        return self._appeared_at.get(tup)
+
+    # -- mutation: local tuples ---------------------------------------------
+
+    def add_base(self, tup, t):
+        """Insert a base tuple; returns True if the tuple newly appeared."""
+        was = self.present(tup)
+        self._base_count[tup] = self._base_count.get(tup, 0) + 1
+        if not was:
+            self._note_appear(tup, t)
+        return not was
+
+    def remove_base(self, tup):
+        """Delete a base tuple; returns True if the tuple ceased to exist.
+
+        Deleting a tuple that was never inserted returns False and leaves
+        the store unchanged (the caller decides how to flag the anomaly).
+        """
+        count = self._base_count.get(tup, 0)
+        if count == 0:
+            return False
+        if count == 1:
+            del self._base_count[tup]
+        else:
+            self._base_count[tup] = count - 1
+        if not self.present(tup):
+            self._note_disappear(tup)
+            return True
+        return False
+
+    def add_derivation(self, tup, instance, t):
+        """Record a derivation instance; returns (is_new_instance, appeared)."""
+        instances = self._derivations.setdefault(tup, {})
+        if instance.key() in instances:
+            return False, False
+        was = self.present(tup)
+        instances[instance.key()] = instance
+        for support in instance.support:
+            self._by_support.setdefault(support, set()).add(
+                (tup, instance.key())
+            )
+        if not was:
+            self._note_appear(tup, t)
+        return True, not was
+
+    def remove_derivations_supported_by(self, support_tup):
+        """Drop every derivation instance that uses *support_tup*.
+
+        Returns the list of (head, instance, disappeared) in deterministic
+        order, where *disappeared* says the head tuple ceased to be present.
+        """
+        entries = self._by_support.pop(support_tup, set())
+        results = []
+        for head, key in sorted(
+            entries, key=lambda e: canonical_bytes((e[0].canonical(), e[1][0]))
+        ):
+            instances = self._derivations.get(head)
+            if not instances or key not in instances:
+                continue
+            instance = instances.pop(key)
+            for other_support in instance.support:
+                if other_support != support_tup:
+                    refs = self._by_support.get(other_support)
+                    if refs:
+                        refs.discard((head, key))
+            disappeared = False
+            if not instances:
+                del self._derivations[head]
+                if not self.present(head):
+                    self._note_disappear(head)
+                    disappeared = True
+            results.append((head, instance, disappeared))
+        return results
+
+    def remove_derivation(self, tup, instance):
+        """Remove one specific instance; returns True if *tup* disappeared."""
+        instances = self._derivations.get(tup)
+        if not instances or instance.key() not in instances:
+            return False
+        instances.pop(instance.key())
+        for support in instance.support:
+            refs = self._by_support.get(support)
+            if refs:
+                refs.discard((tup, instance.key()))
+        if not instances:
+            del self._derivations[tup]
+            if not self.present(tup):
+                self._note_disappear(tup)
+                return True
+        return False
+
+    def derivation_instances(self, tup):
+        return list(self._derivations.get(tup, {}).values())
+
+    # -- mutation: beliefs ---------------------------------------------------
+
+    def add_belief(self, tup, peer, t):
+        """Record a +τ notification from *peer*; True if τ newly present."""
+        was = self.present(tup)
+        peers = self._beliefs.setdefault(tup, {})
+        peers[peer] = peers.get(peer, 0) + 1
+        if not was:
+            self._believe_peer[tup] = peer
+            self._note_appear(tup, t)
+        return not was
+
+    def remove_belief(self, tup, peer):
+        """Record a −τ notification from *peer*; True if τ ceased."""
+        peers = self._beliefs.get(tup)
+        if not peers or peers.get(peer, 0) == 0:
+            return False
+        peers[peer] -= 1
+        if peers[peer] == 0:
+            del peers[peer]
+        if not peers:
+            del self._beliefs[tup]
+        if not self.present(tup):
+            self._believe_peer.pop(tup, None)
+            self._note_disappear(tup)
+            return True
+        return False
+
+    # -- matching -------------------------------------------------------------
+
+    def visible(self, relation):
+        """Visible tuples of *relation* in deterministic order."""
+        tups = self._visible.get(relation, ())
+        return sorted(tups, key=lambda t: canonical_bytes(t.canonical()))
+
+    def _note_appear(self, tup, t):
+        self._appeared_at[tup] = t
+        if tup.loc == self.node_id:
+            self._visible.setdefault(tup.relation, set()).add(tup)
+
+    def _note_disappear(self, tup):
+        self._appeared_at.pop(tup, None)
+        if tup.loc == self.node_id:
+            rel = self._visible.get(tup.relation)
+            if rel:
+                rel.discard(tup)
+
+    # -- checkpoint support -----------------------------------------------------
+
+    def snapshot(self):
+        return {
+            "base": {t: c for t, c in self._base_count.items()},
+            "derivations": {
+                t: [(k, inst.support) for k, inst in insts.items()]
+                for t, insts in self._derivations.items()
+            },
+            "beliefs": {t: dict(p) for t, p in self._beliefs.items()},
+            "appeared": dict(self._appeared_at),
+            "believe_peer": dict(self._believe_peer),
+        }
+
+    def restore(self, snap):
+        self._base_count = dict(snap["base"])
+        self._derivations = {}
+        self._by_support = {}
+        for tup, insts in snap["derivations"].items():
+            table = self._derivations.setdefault(tup, {})
+            for key, support in insts:
+                instance = DerivationInstance(key[0], support)
+                table[instance.key()] = instance
+                for s in support:
+                    self._by_support.setdefault(s, set()).add(
+                        (tup, instance.key())
+                    )
+        self._beliefs = {t: dict(p) for t, p in snap["beliefs"].items()}
+        self._appeared_at = dict(snap["appeared"])
+        self._believe_peer = dict(snap["believe_peer"])
+        self._visible = {}
+        for tup in self._appeared_at:
+            if tup.loc == self.node_id:
+                self._visible.setdefault(tup.relation, set()).add(tup)
+
+    # -- enumeration -------------------------------------------------------------
+
+    def all_local(self):
+        """All locally present tuples (base or derived) with appear times."""
+        out = []
+        for tup in self._base_count:
+            out.append((tup, self._appeared_at.get(tup)))
+        for tup in self._derivations:
+            if tup not in self._base_count:
+                out.append((tup, self._appeared_at.get(tup)))
+        out.sort(key=lambda pair: canonical_bytes(pair[0].canonical()))
+        return out
+
+    def all_beliefs(self):
+        """All believed tuples as (tup, peer, appeared_at)."""
+        out = []
+        for tup, peers in self._beliefs.items():
+            if any(c > 0 for c in peers.values()):
+                out.append(
+                    (tup, self._believe_peer.get(tup), self._appeared_at.get(tup))
+                )
+        out.sort(key=lambda item: canonical_bytes(item[0].canonical()))
+        return out

@@ -1,0 +1,12 @@
+"""Deterministic discrete-event network simulation.
+
+The paper evaluates SNooPy on a testbed (EC2 instances, a local cluster);
+this reproduction runs the same protocols over a seeded discrete-event
+simulator so every experiment is exactly repeatable. The simulator provides
+bounded message propagation (``Tprop``, assumption 4 of Section 5.2) and
+per-node clock skew (``Δclock``, assumption 5).
+"""
+
+from repro.net.simulator import Simulator
+
+__all__ = ["Simulator"]

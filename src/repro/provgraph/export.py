@@ -1,0 +1,82 @@
+"""Provenance graph exporters.
+
+The paper notes SNooPy's output could feed a provenance visualizer such as
+VisTrails (Section 5.9). This module renders query results / graphs to:
+
+* **Graphviz dot** — colors map to the paper's semantics (black boxes, red
+  for proven misbehavior, yellow/amber for unknown);
+* **JSON** — a stable machine-readable structure for external tooling.
+"""
+
+import json
+
+from repro.provgraph.vertices import Color
+
+
+_DOT_COLORS = {
+    Color.BLACK: ("black", "white"),
+    Color.RED: ("red3", "mistyrose"),
+    Color.YELLOW: ("goldenrod", "lightyellow"),
+}
+
+
+def _vertex_id(vertex, ids):
+    key = vertex.key()
+    if key not in ids:
+        ids[key] = f"v{len(ids)}"
+    return ids[key]
+
+
+def to_dot(graph, title="provenance"):
+    """Render a ProvenanceGraph (or QueryResult.graph) as Graphviz dot."""
+    ids = {}
+    lines = [
+        "digraph provenance {",
+        "  rankdir=BT;",
+        f"  label=\"{title}\";",
+        "  node [shape=box, fontsize=10, fontname=\"Helvetica\"];",
+    ]
+    for vertex in sorted(graph.vertices(), key=lambda v: v.sort_key()):
+        node_id = _vertex_id(vertex, ids)
+        border, fill = _DOT_COLORS[vertex.color]
+        label = vertex.describe().replace("\"", "'")
+        lines.append(
+            f"  {node_id} [label=\"{label}\", color={border}, "
+            f"style=filled, fillcolor={fill}];"
+        )
+    for key_from, key_to in sorted(graph.edges(), key=str):
+        a = graph.get(key_from)
+        b = graph.get(key_to)
+        if a is None or b is None:
+            continue
+        lines.append(f"  {_vertex_id(a, ids)} -> {_vertex_id(b, ids)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_json(graph):
+    """Serialize a graph to a JSON string (stable key order)."""
+    ids = {}
+    vertices = []
+    for vertex in sorted(graph.vertices(), key=lambda v: v.sort_key()):
+        vertices.append({
+            "id": _vertex_id(vertex, ids),
+            "type": vertex.vtype,
+            "host": str(vertex.node),
+            "color": vertex.color,
+            "tuple": repr(vertex.tup) if vertex.tup is not None else None,
+            "rule": vertex.rule,
+            "t": vertex.t,
+            "t_end": vertex.t_end,
+            "peer": str(vertex.peer) if vertex.peer is not None else None,
+            "seeded": vertex.seeded,
+        })
+    edges = []
+    for key_from, key_to in sorted(graph.edges(), key=str):
+        a = graph.get(key_from)
+        b = graph.get(key_to)
+        if a is None or b is None:
+            continue
+        edges.append([_vertex_id(a, ids), _vertex_id(b, ids)])
+    return json.dumps({"vertices": vertices, "edges": edges}, indent=2,
+                      sort_keys=True)

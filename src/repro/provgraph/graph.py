@@ -1,0 +1,222 @@
+"""The provenance graph container and its algebra.
+
+Implements the operations Appendix B.2 defines for the proofs:
+
+* ``union`` (∪*) — vertex-set union where duplicate exist/believe vertices
+  keep the *intersection* of their intervals and duplicate vertices take the
+  dominant color;
+* ``project`` (G|i) — the subgraph of vertices hosted on node i, plus any
+  send/receive vertices on other nodes connected to them by an edge (those
+  are colored yellow in the projection);
+* ``is_subgraph_of`` (⊆*) — G1 ⊆* G iff some G2 satisfies G1 ∪* G2 = G.
+
+The container also maintains the lookup indexes the GCA pseudocode relies on
+(``v.get(...)`` with wildcards): exact key lookup, and open-interval lookup
+by (node, tuple).
+"""
+
+from repro.provgraph.vertices import (
+    Vertex, Color, EXIST, BELIEVE, SEND, RECEIVE,
+)
+
+
+class ProvenanceGraph:
+    def __init__(self):
+        self._vertices = {}          # key -> Vertex
+        self._edges = set()          # (key_from, key_to)
+        self._succ = {}              # key -> list of keys (insertion order)
+        self._pred = {}
+        self._open_intervals = {}    # (vtype, node, tup) -> Vertex
+
+    # ------------------------------------------------------------- basics
+
+    def __len__(self):
+        return len(self._vertices)
+
+    def __contains__(self, vertex):
+        key = vertex.key() if isinstance(vertex, Vertex) else vertex
+        return key in self._vertices
+
+    def vertices(self):
+        return list(self._vertices.values())
+
+    def edges(self):
+        return list(self._edges)
+
+    def edge_count(self):
+        return len(self._edges)
+
+    def get(self, key):
+        """Vertex by exact key, or None."""
+        return self._vertices.get(key)
+
+    def add_vertex(self, vertex):
+        """Insert *vertex* if absent; returns the canonical instance."""
+        existing = self._vertices.get(vertex.key())
+        if existing is not None:
+            return existing
+        self._vertices[vertex.key()] = vertex
+        if vertex.interval_open():
+            self._open_intervals[
+                (vertex.vtype, vertex.node, vertex.tup)
+            ] = vertex
+        return vertex
+
+    def add_edge(self, v_from, v_to):
+        pair = (v_from.key(), v_to.key())
+        if pair in self._edges:
+            return
+        self._edges.add(pair)
+        self._succ.setdefault(pair[0], []).append(pair[1])
+        self._pred.setdefault(pair[1], []).append(pair[0])
+
+    def has_edge(self, v_from, v_to):
+        return (v_from.key(), v_to.key()) in self._edges
+
+    def predecessors(self, vertex):
+        return [self._vertices[k] for k in self._pred.get(vertex.key(), ())]
+
+    def successors(self, vertex):
+        return [self._vertices[k] for k in self._succ.get(vertex.key(), ())]
+
+    # --------------------------------------------------- wildcard lookups
+
+    def open_interval(self, vtype, node, tup):
+        """The open exist/believe vertex for (node, tup), or None."""
+        return self._open_intervals.get((vtype, node, tup))
+
+    def close_interval(self, vertex, t_end):
+        """Close an open exist/believe vertex's interval."""
+        vertex.close_interval(t_end)
+        self._open_intervals.pop(
+            (vertex.vtype, vertex.node, vertex.tup), None
+        )
+
+    def find_exist_at(self, node, tup, t):
+        """The exist vertex for *tup* on *node* whose interval contains t."""
+        for vertex in self._vertices.values():
+            if (
+                vertex.vtype == EXIST
+                and vertex.node == node
+                and vertex.tup == tup
+                and vertex.t <= t
+                and (vertex.t_end is None or t <= vertex.t_end)
+            ):
+                return vertex
+        return None
+
+    def find_all(self, vtype=None, node=None, tup=None):
+        """Linear-scan query used by tests and the macroquery processor."""
+        out = []
+        for vertex in self._vertices.values():
+            if vtype is not None and vertex.vtype != vtype:
+                continue
+            if node is not None and vertex.node != node:
+                continue
+            if tup is not None and vertex.tup != tup:
+                continue
+            out.append(vertex)
+        out.sort(key=Vertex.sort_key)
+        return out
+
+    # ------------------------------------------------------------ algebra
+
+    def union(self, other):
+        """G ∪* other (Appendix B.2); returns a new graph."""
+        result = ProvenanceGraph()
+        for source in (self, other):
+            for vertex in source._vertices.values():
+                result._merge_vertex(vertex)
+        for source in (self, other):
+            for key_from, key_to in source._edges:
+                a = result._vertices.get(key_from)
+                b = result._vertices.get(key_to)
+                if a is not None and b is not None:
+                    result.add_edge(a, b)
+        return result
+
+    def _merge_vertex(self, vertex):
+        existing = self._vertices.get(vertex.key())
+        if existing is None:
+            clone = _clone_vertex(vertex)
+            self._vertices[clone.key()] = clone
+            if clone.interval_open():
+                self._open_intervals[
+                    (clone.vtype, clone.node, clone.tup)
+                ] = clone
+            return
+        existing.color = Color.dominant(existing.color, vertex.color)
+        if existing.is_interval():
+            # Intersection of intervals: same start (key), smaller end wins.
+            merged_end = _min_end(existing.t_end, vertex.t_end)
+            if merged_end != existing.t_end:
+                existing.t_end = merged_end
+                self._open_intervals.pop(
+                    (existing.vtype, existing.node, existing.tup), None
+                )
+
+    def project(self, node):
+        """G | node (Appendix B.2)."""
+        result = ProvenanceGraph()
+        kept = set()
+        for vertex in self._vertices.values():
+            if vertex.node == node:
+                result._merge_vertex(vertex)
+                kept.add(vertex.key())
+        # Cross-node send/receive vertices connected by an edge, in yellow.
+        for key_from, key_to in self._edges:
+            for mine, theirs in ((key_from, key_to), (key_to, key_from)):
+                if mine in kept and theirs not in kept:
+                    other = self._vertices[theirs]
+                    if other.vtype in (SEND, RECEIVE):
+                        clone = _clone_vertex(other)
+                        clone.color = Color.YELLOW
+                        result._merge_vertex(clone)
+        for key_from, key_to in self._edges:
+            a = result._vertices.get(key_from)
+            b = result._vertices.get(key_to)
+            if a is not None and b is not None:
+                result.add_edge(a, b)
+        return result
+
+    def is_subgraph_of(self, other):
+        """G ⊆* other: every vertex/edge of G appears in *other* with a
+        color at least as dominant and an interval no larger."""
+        for key, vertex in self._vertices.items():
+            theirs = other._vertices.get(key)
+            if theirs is None:
+                return False
+            if Color.dominant(vertex.color, theirs.color) != theirs.color:
+                return False
+            if vertex.is_interval():
+                if _min_end(vertex.t_end, theirs.t_end) != theirs.t_end:
+                    return False
+        return all(edge in other._edges for edge in self._edges)
+
+    # ----------------------------------------------------------- coloring
+
+    def red_vertices(self):
+        return [v for v in self._vertices.values() if v.color == Color.RED]
+
+    def yellow_vertices(self):
+        return [v for v in self._vertices.values() if v.color == Color.YELLOW]
+
+    def vertices_on(self, node):
+        return [v for v in self._vertices.values() if v.node == node]
+
+
+def _clone_vertex(vertex):
+    return Vertex(
+        vertex.vtype, vertex.node, tup=vertex.tup, t=vertex.t,
+        t_end=vertex.t_end, peer=vertex.peer, rule=vertex.rule,
+        msg=vertex.msg, color=vertex.color, seeded=vertex.seeded,
+    )
+
+
+def _min_end(a, b):
+    """Minimum of two interval ends where None means +∞."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return min(a, b)

@@ -1,0 +1,176 @@
+"""Byzantine node behaviors for fault injection (paper Section 2.1).
+
+The threat model gives the adversary complete control over compromised
+nodes: both the primary system and the provenance system on those nodes can
+be altered. Each class here implements one canonical attack; the integration
+tests and benchmarks use them to demonstrate the paper's completeness
+property (every *detectable* fault yields a red or yellow vertex) and its
+limitations (input lies are not automatically detectable).
+
+Summary of what each attack looks like to a querier:
+
+=====================  ===========================================
+Attack                 Detection path
+=====================  ===========================================
+Message fabrication    replay: snd entry with no matching output → red send
+Mis-execution          replay: outputs diverge from snd entries → red
+Log tampering          hash chain fails to recompute → proven faulty
+Log forking            consistency check: off-chain authenticator → proven
+                       faulty (equivocation)
+Message suppression    peer's signed evidence has no counterpart → red
+                       (handle-extra-msg), or missing-ack alarm
+Query refusal          retrieve unanswered → yellow vertices
+Input lying            *not detectable* (black); Section 4.2 limitation
+=====================  ===========================================
+"""
+
+from repro.crypto.hashing import HashChain, content_digest
+from repro.snp.log import NodeLog, SND
+from repro.snp.snoopy import SNooPyNode
+from repro.snp.commitment import snd_entry_content
+
+
+class FabricatorNode(SNooPyNode):
+    """Sends ``+τ/−τ`` messages its state machine never produced.
+
+    The fabricated message is committed to the log like any other send (the
+    commitment protocol forces that — an unlogged message would be rejected
+    by the receiver's batch verification). Replay then exposes it: the
+    deterministic machine does not produce the output, so the GCA's
+    ``handle-event-snd`` colors the send vertex red.
+    """
+
+    def fabricate(self, polarity, tup, dst):
+        t = self.local_time()
+        msg = self.app.make_msg(polarity, tup, dst, t)
+        self._queue_send(msg, t)
+        return msg
+
+
+class MisexecutingNode(SNooPyNode):
+    """Runs a different program than the one it is expected to run.
+
+    ``corrupt_app`` executes at runtime; the deployment's registered factory
+    (the *expected* behavior ``A_i``) is what replay uses, so every output
+    the corrupt app produces beyond the honest one becomes a red send
+    vertex — this is the paper's corrupt-Hadoop-mapper scenario.
+    """
+
+    def install_corrupt_app(self, corrupt_app):
+        self.app = corrupt_app
+
+
+class TamperingNode(SNooPyNode):
+    """Rewrites a committed log entry after the fact.
+
+    With ``recompute_chain=False`` the stored hashes no longer recompute —
+    the querier's segment verification fails immediately. With
+    ``recompute_chain=True`` the node rebuilds a self-consistent chain, but
+    every authenticator it issued before the edit is now off-chain, so the
+    consistency check exposes it as soon as any peer's evidence is
+    consulted.
+    """
+
+    def tamper_entry(self, index, new_content, recompute_chain=False):
+        entry = self.log.entry(index)
+        entry.content = new_content
+        entry.aux = dict(entry.aux)
+        if "tup" in entry.aux and hasattr(new_content, "relation"):
+            entry.aux["tup"] = new_content
+        if recompute_chain:
+            self._rebuild_chain()
+        return entry
+
+    def _rebuild_chain(self):
+        chain = HashChain()
+        for entry in self.log.entries:
+            entry.content_hash = content_digest(entry.content)
+            entry.entry_hash = chain.append(
+                entry.timestamp, entry.entry_type, entry.content_hash
+            )
+        self.log.chain = chain
+
+
+class ForkingNode(SNooPyNode):
+    """Equivocates by discarding a log suffix and rewriting history.
+
+    Authenticators covering the discarded suffix are already in other
+    nodes' hands; when the querier runs the consistency check, those
+    authenticators fail to match the replacement chain, proving the fork.
+    """
+
+    def fork_log(self, keep_upto):
+        """Drop all entries after *keep_upto* and continue from there."""
+        old = self.log
+        fresh = NodeLog(self.node_id)
+        for entry in old.entries[:keep_upto]:
+            fresh.append(entry.timestamp, entry.entry_type, entry.content,
+                         aux=entry.aux)
+        self.log = fresh
+        # Sends awaiting acks on the abandoned branch are forgotten.
+        self._await_ack.clear()
+        self._outbox.clear()
+
+
+class SuppressorNode(SNooPyNode):
+    """Processes an input but hides the resulting messages from its log
+    *and* from the wire: it simply drops selected outputs.
+
+    The peer that should have received the message never acks (nothing was
+    sent), so nothing is visibly wrong at this node — but any downstream
+    state the suppressed message should have maintained goes stale, and the
+    suppressed (un)derivation makes later logged sends inconsistent with
+    replay, surfacing red vertices.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.suppress_to = set()
+
+    def _queue_send(self, msg, t):
+        if msg.dst in self.suppress_to:
+            return  # silently dropped: no log entry, no wire
+        super()._queue_send(msg, t)
+
+
+class SilentNode(SNooPyNode):
+    """Refuses to answer retrieve (and optionally the consistency check).
+
+    Its vertices stay yellow — the paper's "remains yellow → host(v) is
+    refusing to respond and is therefore faulty" outcome.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.refuse_retrieve = True
+        self.refuse_consistency = True
+
+    def retrieve(self, upto_index=None, from_checkpoint=False):
+        if self.refuse_retrieve:
+            return None
+        return super().retrieve(upto_index, from_checkpoint)
+
+    def head_authenticator(self):
+        if self.refuse_retrieve:
+            return None
+        return super().head_authenticator()
+
+    def authenticators_about(self, peer):
+        if self.refuse_consistency:
+            return []
+        return super().authenticators_about(peer)
+
+
+class InputLiarNode(SNooPyNode):
+    """Inserts base tuples that do not reflect reality.
+
+    This is the paper's first fundamental limitation (Section 4.2): nodes
+    cannot observe each other's inputs, so a lie about local inputs yields
+    a perfectly consistent log and black vertices. The *human* investigator
+    sees the lying insert vertex as the root cause and can recognize it.
+    There is deliberately no special machinery here — the class exists to
+    make fault-injection matrices explicit.
+    """
+
+    def lie_insert(self, tup):
+        self.insert(tup)

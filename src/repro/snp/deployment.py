@@ -1,0 +1,198 @@
+"""Deployment: assembles a simulated SNooPy system.
+
+A deployment owns the simulator, the offline CA, the maintainer (the entity
+that receives missing-ack notifications, Section 5.4), the traffic meter,
+and the nodes. Applications register a *state-machine factory* per node —
+the factory is what deterministic replay uses to reconstruct a fresh
+instance of the node's expected behavior ``A_i``, so it must be free of
+hidden state.
+"""
+
+from repro.crypto.keys import CertificateAuthority, NodeIdentity
+from repro.metrics import TrafficMeter
+from repro.net.simulator import Simulator
+from repro.snp.snoopy import SNooPyNode
+from repro.util.errors import ConfigurationError
+
+
+class Maintainer:
+    """The system maintainer: collects alarms and rejected-wire reports."""
+
+    def __init__(self):
+        self.missing_ack_alarms = []
+        self.rejected_wires = []
+
+    def notify_missing_ack(self, alarm):
+        self.missing_ack_alarms.append(alarm)
+
+    def record_rejected_wire(self, receiver, sender, reason):
+        self.rejected_wires.append(
+            {"receiver": receiver, "sender": sender, "reason": reason}
+        )
+
+    def alarmed_msg_ids(self):
+        out = set()
+        for alarm in self.missing_ack_alarms:
+            out.update(alarm["msg_ids"])
+        return out
+
+
+class Deployment:
+    def __init__(self, seed=0, t_prop=0.05, delta_clock=0.01, key_bits=256,
+                 t_batch=0.0, drop_wires_to=()):
+        self.sim = Simulator(seed=seed, t_prop=t_prop,
+                             delta_clock=delta_clock)
+        self.ca = CertificateAuthority(key_bits=key_bits, seed=seed ^ 0xCA)
+        self.key_bits = key_bits
+        self.t_batch = t_batch
+        self.maintainer = Maintainer()
+        self.traffic = TrafficMeter()
+        self.nodes = {}
+        self.app_factories = {}
+        self._identities = {}
+        self._drop_wires_to = set(drop_wires_to)  # simulate crashed nodes
+        # Channels are FIFO per (src, dst), like the TCP sessions real
+        # deployments use: a +τ and its later −τ must arrive in order or
+        # the receiver's belief state is corrupted.
+        self._channel_clock = {}
+
+    # ------------------------------------------------------------- set-up
+
+    def add_node(self, node_id, app_factory, node_cls=SNooPyNode,
+                 native_sizer=None, t_batch=None, **node_kwargs):
+        """Create a node running *app_factory(node_id)* as its primary
+        system. *node_cls* selects a Byzantine variant if desired."""
+        if node_id in self.nodes:
+            raise ConfigurationError(f"duplicate node id {node_id!r}")
+        identity = NodeIdentity(
+            node_id, self.ca, key_bits=self.key_bits,
+            seed=(hash(("node-key", node_id)) & 0x7FFFFFFF),
+        )
+        self._identities[node_id] = identity
+        self.sim.register_clock(node_id)
+        node = node_cls(
+            node_id, app_factory(node_id), identity, self,
+            t_batch=self.t_batch if t_batch is None else t_batch,
+            native_sizer=native_sizer, **node_kwargs,
+        )
+        self.nodes[node_id] = node
+        self.app_factories[node_id] = app_factory
+        return node
+
+    def node(self, node_id):
+        return self.nodes[node_id]
+
+    def public_key_of(self, node_id):
+        return self._identities[node_id].keypair.public_only()
+
+    def identity_of(self, node_id):
+        return self._identities[node_id]
+
+    def plausibility_window(self):
+        """Δclock + Tprop, plus scheduling slack for batched transmission."""
+        return self.sim.delta_clock + self.sim.t_prop + self.t_batch + 0.01
+
+    def effective_t_prop(self):
+        """The Tprop bound replay must assume: with Tbatch batching, an
+        acknowledgment legitimately arrives up to Tbatch later (Section
+        5.6 — 'the cost is an increase in message latency by up to
+        Tbatch'), so the missing-ack deadline is 2·(Tprop + Tbatch/2)."""
+        return self.sim.t_prop + self.t_batch / 2 + self.sim.delta_clock
+
+    # ----------------------------------------------------------- transport
+
+    def transmit_batch(self, sender, batch):
+        """Deliver a WireBatch after a link delay, with traffic accounting."""
+        self.traffic.record_batch(
+            sender.node_id, [m for m, _i, _t in batch.msgs],
+            native_sizer=sender.native_sizer,
+        )
+        if batch.dst in self._drop_wires_to or batch.dst not in self.nodes:
+            return
+        target = self.nodes[batch.dst]
+        self._deliver_fifo(
+            (batch.src, batch.dst), lambda: target.on_batch(batch)
+        )
+
+    def transmit_ack(self, sender, wire_ack):
+        self.traffic.record_ack(sender.node_id)
+        if wire_ack.dst in self._drop_wires_to or wire_ack.dst not in self.nodes:
+            return
+        target = self.nodes[wire_ack.dst]
+        self._deliver_fifo(
+            ("ack", wire_ack.src, wire_ack.dst),
+            lambda: target.on_ack(wire_ack),
+        )
+
+    def _deliver_fifo(self, channel, callback):
+        """Schedule a delivery that preserves per-channel ordering."""
+        deliver_at = self.sim.now + self.sim.link_delay()
+        last = self._channel_clock.get(channel, 0.0)
+        if deliver_at <= last:
+            deliver_at = last + 1e-6
+        self._channel_clock[channel] = deliver_at
+        self.sim.schedule_at(deliver_at, callback)
+
+    def drop_wires_to(self, node_id):
+        """Simulate a node that has stopped receiving (crash/partition)."""
+        self._drop_wires_to.add(node_id)
+
+    # ------------------------------------------------------------- running
+
+    def run(self, max_events=None):
+        return self.sim.run(max_events=max_events)
+
+    def run_until(self, t):
+        self.sim.run_until(t)
+
+    def checkpoint_all(self):
+        for node in self.nodes.values():
+            node.checkpoint()
+
+    # --------------------------------------------------------- aggregates
+
+    def crypto_counter_totals(self):
+        from repro.crypto.keys import CryptoCounter
+        total = CryptoCounter()
+        for identity in self._identities.values():
+            total = total.merged_with(identity.counter)
+        return total
+
+    def replicate_logs(self, replication_factor=2):
+        """Push each node's current log to its replica set (Section 5.8's
+        suggested mitigation for destroyed provenance state). Replicas are
+        the next *replication_factor* nodes in id order; Byzantine nodes
+        may refuse to serve what they stored, which the paper's threat
+        model allows — replication is best-effort."""
+        names = sorted(self.nodes, key=str)
+        for index, name in enumerate(names):
+            response = self.nodes[name].retrieve()
+            if response is None:
+                continue
+            for step in range(1, replication_factor + 1):
+                replica = self.nodes[names[(index + step) % len(names)]]
+                if replica.node_id != name:
+                    replica.accept_mirror(response)
+
+    def find_mirror(self, origin):
+        """Best (longest) mirror of *origin*'s log held by any node."""
+        best = None
+        for node in self.nodes.values():
+            if node.node_id == origin:
+                continue
+            mirror = node.mirror_of(origin)
+            if mirror is not None and (
+                    best is None
+                    or mirror.head_auth.index > best.head_auth.index):
+                best = mirror
+        return best
+
+    def collect_authenticators_about(self, target):
+        """Ask every node for authenticators signed by *target* — the
+        querier side of the consistency check (Section 5.5)."""
+        out = []
+        for node in self.nodes.values():
+            if node.node_id == target:
+                continue
+            out.extend(node.authenticators_about(target))
+        return out

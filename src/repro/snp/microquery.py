@@ -1,0 +1,331 @@
+"""The microquery module (paper Section 5.5).
+
+``microquery(v, ε)`` works by (1) using evidence ε to retrieve a log prefix
+from ``host(v)``, (2) replaying it to regenerate that node's partition of
+Gν, and (3) checking that v exists in it. The result is a color notification
+— yellow while unresolved, then black or red — plus v's predecessors and
+successors with the extra evidence needed to continue exploring.
+
+This implementation caches one *view* per node (the verified, replayed
+subgraph); repeated microqueries against the same node hit the cache, which
+is the caching optimization Section 5.6 describes. The view records how the
+node turned out:
+
+* ``ok`` — log verified and replayed; vertex colors come from the GCA;
+* ``proven-faulty`` — the node returned a log that contradicts signed
+  evidence (broken hash chain, mismatched authenticator, forged embedded
+  signature, or an equivocation exposed by the consistency check);
+* ``unreachable`` — the node did not respond to retrieve; its vertices stay
+  yellow (Section 4.2's fourth limitation).
+"""
+
+import time
+
+from repro.metrics import QueryStats
+from repro.snp.evidence import (
+    EvidenceStore, verify_authenticator, AUTHENTICATOR_BYTES,
+)
+from repro.snp.log import RCV, ACK
+from repro.snp.replay import (
+    check_against_authenticator, replay_segment, verify_segment_hashes,
+)
+from repro.provgraph.vertices import Color, SEND, RECEIVE
+from repro.util.errors import AuthenticationError, LogVerificationError
+from repro.util.serialization import canonical_size
+
+OK = "ok"
+PROVEN_FAULTY = "proven-faulty"
+UNREACHABLE = "unreachable"
+
+
+class NodeView:
+    """The querier's verified view of one node."""
+
+    __slots__ = ("node", "status", "graph", "log_len", "verdict_reason",
+                 "replay")
+
+    def __init__(self, node, status, graph=None, log_len=0,
+                 verdict_reason=None, replay=None):
+        self.node = node
+        self.status = status
+        self.graph = graph
+        self.log_len = log_len
+        self.verdict_reason = verdict_reason
+        self.replay = replay
+
+
+class MicroResult:
+    """What one microquery invocation returns (Section 4.3)."""
+
+    __slots__ = ("vertex", "colors", "predecessors", "successors")
+
+    def __init__(self, vertex, colors, predecessors, successors):
+        self.vertex = vertex
+        self.colors = colors            # e.g. ["yellow", "black"]
+        self.predecessors = predecessors
+        self.successors = successors
+
+    @property
+    def final_color(self):
+        return self.colors[-1]
+
+
+class MicroQuerier:
+    def __init__(self, deployment, use_checkpoints=False,
+                 verify_embedded_signatures=True,
+                 run_consistency_check=True):
+        self.deployment = deployment
+        self.use_checkpoints = use_checkpoints
+        self.verify_embedded_signatures = verify_embedded_signatures
+        self.run_consistency_check = run_consistency_check
+        self.evidence = EvidenceStore()
+        self.stats = QueryStats()
+        self._views = {}
+        self._querier_identity = deployment.ca and None
+        # The querier needs its own identity only for verification calls;
+        # reuse a lightweight one so crypto ops are counted separately.
+        from repro.crypto.keys import NodeIdentity
+        self._querier_identity = NodeIdentity(
+            "__querier__", deployment.ca, key_bits=deployment.key_bits,
+            seed=0x51,
+        )
+
+    # ------------------------------------------------------------- views
+
+    def view_of(self, node_id):
+        """Retrieve + verify + replay *node_id*'s log (cached)."""
+        cached = self._views.get(node_id)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            return cached
+        view = self._build_view(node_id)
+        self._views[node_id] = view
+        return view
+
+    def invalidate(self, node_id=None):
+        """Drop cached views (e.g. after the system ran further)."""
+        if node_id is None:
+            self._views.clear()
+        else:
+            self._views.pop(node_id, None)
+
+    def _build_view(self, node_id):
+        node = self.deployment.nodes.get(node_id)
+        response = None
+        if node is not None:
+            response = node.retrieve(from_checkpoint=self.use_checkpoints)
+        from_mirror = False
+        if response is None:
+            # Section 5.8 extension: fall back to a replicated copy of the
+            # log. The mirror is verified exactly like a direct response
+            # (hash chain + origin's signed head), so a lying replica
+            # cannot frame the origin.
+            response = self.deployment.find_mirror(node_id)
+            from_mirror = response is not None
+            if from_mirror:
+                response.from_mirror = True
+        if response is None:
+            return NodeView(node_id, UNREACHABLE,
+                            verdict_reason="no response to retrieve")
+        self.stats.logs_fetched += 1
+        self.stats.log_bytes += sum(e.size_bytes() for e in response.entries)
+        self.stats.authenticator_bytes += AUTHENTICATOR_BYTES
+        if response.checkpoint is not None:
+            self.stats.checkpoint_bytes += response.checkpoint.size_bytes()
+            self.stats.checkpoint_bytes += self._snapshot_size(
+                response.checkpoint
+            )
+
+        started = time.perf_counter()
+        try:
+            self._verify_response(node_id, response)
+        except (LogVerificationError, AuthenticationError) as exc:
+            self.stats.auth_check_seconds += time.perf_counter() - started
+            if from_mirror:
+                # A corrupt *mirror* is not evidence against the origin —
+                # the replica may be the liar. The origin merely remains
+                # unreachable (its vertices stay yellow).
+                return NodeView(node_id, UNREACHABLE,
+                                verdict_reason=f"bad mirror: {exc}")
+            return NodeView(node_id, PROVEN_FAULTY,
+                            verdict_reason=str(exc))
+        self.stats.auth_check_seconds += time.perf_counter() - started
+
+        alarms = self.deployment.maintainer.alarmed_msg_ids()
+        result = replay_segment(
+            node_id, response, self.deployment.app_factories[node_id],
+            t_prop=self.deployment.effective_t_prop(),
+            known_alarm_msg_ids=alarms,
+        )
+        self.stats.replay_seconds += result.replay_seconds
+        self.stats.events_replayed += result.events_replayed
+        if not result.ok:
+            return NodeView(node_id, PROVEN_FAULTY,
+                            verdict_reason=str(result.failure),
+                            replay=result)
+        self._harvest_evidence(response)
+        end_index = response.start_index + len(response.entries) - 1
+        return NodeView(node_id, OK, graph=result.graph, log_len=end_index,
+                        replay=result)
+
+    def _snapshot_size(self, chk_entry):
+        try:
+            return canonical_size(
+                [t.canonical() for t, _at in chk_entry.aux["extant"]]
+            )
+        except Exception:
+            return 0
+
+    # -------------------------------------------------------- verification
+
+    def _verify_response(self, node_id, response):
+        """All the checks that can *prove* the node faulty.
+
+        1. The fresh head authenticator must be validly signed and match
+           the recomputed hash chain.
+        2. Every evidence authenticator we hold for this node must lie on
+           the returned chain.
+        3. Embedded authenticators in rcv/ack entries must carry valid
+           signatures from their claimed signers (a node cannot launder a
+           forged message into its log).
+        4. Consistency check (Section 5.5): authenticators other nodes hold
+           about this node must lie on the same chain — two signed heads
+           off-chain expose equivocation.
+        """
+        public_key = self.deployment.public_key_of(node_id)
+        verify_authenticator(self._querier_identity, public_key,
+                             response.head_auth)
+        hashes = verify_segment_hashes(response)
+        check_against_authenticator(response, hashes, response.head_auth)
+        for auth in self.evidence.for_node(node_id):
+            check_against_authenticator(response, hashes, auth)
+        if response.checkpoint is not None:
+            self._verify_checkpoint(node_id, response.checkpoint)
+        if self.verify_embedded_signatures:
+            self._verify_embedded(node_id, response)
+        if self.run_consistency_check:
+            self._consistency_check(node_id, response, hashes)
+
+    def _verify_checkpoint(self, node_id, chk_entry):
+        """Verify the checkpoint's tuple lists against the Merkle roots
+        committed in the log entry (Section 7.7: the Quagga-Disappear
+        query spends most of its time 'verifying partial checkpoints using
+        a Merkle Hash Tree'). A mismatch means the node's replay seed does
+        not match what it committed to — proof of tampering."""
+        from repro.crypto.merkle import MerkleTree
+        _tag, local_root, belief_root, n_local, n_believed = \
+            chk_entry.content
+        extant = chk_entry.aux.get("extant", [])
+        believed = chk_entry.aux.get("believed", [])
+        if len(extant) != n_local or len(believed) != n_believed:
+            raise LogVerificationError(
+                node_id, "checkpoint tuple counts do not match commitment"
+            )
+        local_tree = MerkleTree(
+            [(tup.canonical(), appeared) for tup, appeared in extant]
+        )
+        belief_tree = MerkleTree(
+            [(tup.canonical(), peer, appeared)
+             for tup, peer, appeared in believed]
+        )
+        if local_tree.root() != local_root \
+                or belief_tree.root() != belief_root:
+            raise LogVerificationError(
+                node_id, "checkpoint contents fail Merkle verification"
+            )
+
+    def _verify_embedded(self, node_id, response):
+        for entry in response.entries:
+            if entry.entry_type == RCV:
+                auth = entry.aux.get("batch_auth")
+                if auth is None:
+                    raise LogVerificationError(
+                        node_id, f"rcv entry {entry.index} lacks evidence"
+                    )
+                sender_key = self.deployment.public_key_of(auth.node)
+                verify_authenticator(self._querier_identity, sender_key, auth)
+            elif entry.entry_type == ACK:
+                wire_ack = entry.aux.get("wire_ack")
+                if wire_ack is None:
+                    raise LogVerificationError(
+                        node_id, f"ack entry {entry.index} lacks evidence"
+                    )
+                acker_key = self.deployment.public_key_of(wire_ack.src)
+                verify_authenticator(self._querier_identity, acker_key,
+                                     wire_ack.auth)
+
+    def _consistency_check(self, node_id, response, hashes):
+        """Ask all other nodes for authenticators signed by *node_id* and
+        check each against the retrieved chain (Section 5.5)."""
+        public_key = self.deployment.public_key_of(node_id)
+        for auth in self.deployment.collect_authenticators_about(node_id):
+            try:
+                verify_authenticator(self._querier_identity, public_key, auth)
+            except AuthenticationError:
+                continue  # not actually signed by node_id; ignore
+            check_against_authenticator(response, hashes, auth)
+
+    def _harvest_evidence(self, response):
+        """Collect the authenticators embedded in a verified log into the
+        evidence store — they are what lets the querier verify the *next*
+        node it visits."""
+        for entry in response.entries:
+            if entry.entry_type == RCV:
+                auth = entry.aux.get("batch_auth")
+                if auth is not None:
+                    self.evidence.add(auth)
+            elif entry.entry_type == ACK:
+                wire_ack = entry.aux.get("wire_ack")
+                if wire_ack is not None:
+                    self.evidence.add(wire_ack.auth)
+        self.evidence.add(response.head_auth)
+
+    # ---------------------------------------------------------- microquery
+
+    def microquery(self, vertex):
+        """Run microquery for *vertex*; returns a MicroResult.
+
+        The first color is always yellow (the vertex's color is unknown
+        until host(v) responds); the second is the verdict.
+        """
+        self.stats.microqueries += 1
+        resolved, color = self.resolve(vertex)
+        view = self._views.get(resolved.node)
+        preds, succs = [], []
+        if view is not None and view.status == OK and resolved.key() in view.graph:
+            preds = view.graph.predecessors(resolved)
+            succs = view.graph.successors(resolved)
+        colors = [Color.YELLOW]
+        if color != Color.YELLOW:
+            colors.append(color)
+        return MicroResult(resolved, colors, preds, succs)
+
+    def resolve(self, vertex):
+        """Materialize *vertex* from its host's verified view.
+
+        Returns (vertex, color). The returned vertex is the one from the
+        host's replayed graph when available; otherwise the caller's stub,
+        recolored according to what the retrieval proved:
+
+        * host unreachable → yellow (can't tell yet);
+        * host's log proven bogus → red;
+        * host's replay lacks a send/receive the peer holds signed evidence
+          for → red (the ``handle-extra-msg`` case: an omitted message).
+        """
+        view = self.view_of(vertex.node)
+        if view.status == UNREACHABLE:
+            vertex.set_color(Color.YELLOW)
+            return vertex, Color.YELLOW
+        if view.status == PROVEN_FAULTY:
+            vertex.set_color(Color.RED)
+            return vertex, Color.RED
+        real = view.graph.get(vertex.key())
+        if real is not None:
+            return real, real.color
+        if vertex.vtype in (SEND, RECEIVE):
+            # The peer's log contains signed evidence of this message, but
+            # the host's replayed subgraph does not: the host suppressed it.
+            vertex.set_color(Color.RED)
+            return vertex, Color.RED
+        vertex.set_color(Color.RED)
+        return vertex, Color.RED

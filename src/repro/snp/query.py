@@ -1,0 +1,294 @@
+"""The macroquery processor (paper Sections 2.2, 5.1, 7.2).
+
+Macroqueries answer the operator's forensic questions by repeatedly invoking
+microquery and assembling the explored subgraph:
+
+* :meth:`QueryProcessor.why` — provenance of an extant tuple ("Why does τ
+  exist?"), or a *historical* query when ``at`` names a past instant ("Why
+  did τ exist at time t?");
+* :meth:`QueryProcessor.why_appear` / :meth:`why_disappear` — *dynamic*
+  queries about state changes;
+* :meth:`QueryProcessor.effects` — *causal* (forward) queries for damage
+  assessment ("What state on other nodes was derived from τ?").
+
+Every query takes ``scope=k`` (Section 5.1): only vertices within graph
+distance k of the root are explored — matching how an analyst zooms in one
+neighborhood at a time (Section 7.3).
+"""
+
+from repro.metrics import QueryStats
+from repro.provgraph.graph import ProvenanceGraph
+from repro.provgraph.vertices import (
+    Color, APPEAR, DISAPPEAR, EXIST, BELIEVE,
+)
+from repro.snp.microquery import MicroQuerier, UNREACHABLE
+from repro.util.errors import QueryError
+
+
+class QueryResult:
+    """The explored subgraph plus verdicts and cost accounting."""
+
+    def __init__(self, root, graph, stats, direction):
+        self.root = root
+        self.graph = graph
+        self.stats = stats
+        self.direction = direction
+
+    # ------------------------------------------------------------ verdicts
+
+    def red_vertices(self):
+        return self.graph.red_vertices()
+
+    def yellow_vertices(self):
+        return self.graph.yellow_vertices()
+
+    def faulty_nodes(self):
+        """Nodes with at least one red vertex in the explored subgraph."""
+        return sorted({v.node for v in self.red_vertices()}, key=str)
+
+    def suspect_nodes(self):
+        """Nodes that are red or unresponsive (yellow) — the paper's 'at
+        least one faulty or misbehaving node' starting point."""
+        nodes = {v.node for v in self.red_vertices()}
+        nodes.update(v.node for v in self.yellow_vertices())
+        return sorted(nodes, key=str)
+
+    def is_clean(self):
+        return not self.red_vertices() and not self.yellow_vertices()
+
+    def vertices(self):
+        return self.graph.vertices()
+
+    def base_causes(self):
+        """The root causes: insert/delete vertices in the explored graph."""
+        return [
+            v for v in self.graph.vertices()
+            if v.vtype in ("insert", "delete")
+        ]
+
+    # ------------------------------------------------------------ display
+
+    def pretty(self, max_depth=None):
+        """ASCII rendering in the style of the paper's Figures 2 and 4."""
+        lines = []
+        seen = set()
+
+        def walk(vertex, depth, prefix):
+            marker = {"black": " ", "red": "!", "yellow": "?"}[vertex.color]
+            lines.append(f"{prefix}{marker} {vertex.describe()}")
+            if vertex.key() in seen:
+                return
+            seen.add(vertex.key())
+            if max_depth is not None and depth >= max_depth:
+                return
+            if self.direction == "backward":
+                neighbors = self.graph.predecessors(vertex)
+            else:
+                neighbors = self.graph.successors(vertex)
+            for neighbor in sorted(neighbors, key=lambda v: v.sort_key()):
+                walk(neighbor, depth + 1, prefix + "  ")
+
+        walk(self.root, 0, "")
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return (
+            f"QueryResult(root={self.root.describe()}, "
+            f"|V|={len(self.graph)}, red={len(self.red_vertices())}, "
+            f"yellow={len(self.yellow_vertices())})"
+        )
+
+
+class QueryProcessor:
+    """Evaluates macroqueries against a deployment."""
+
+    def __init__(self, deployment, use_checkpoints=False, **mq_kwargs):
+        self.deployment = deployment
+        self.mq = MicroQuerier(deployment, use_checkpoints=use_checkpoints,
+                               **mq_kwargs)
+
+    # ---------------------------------------------------------- entry points
+
+    def why(self, tup, node=None, at=None, scope=None):
+        """Provenance of τ on *node* (extant, or historical when ``at`` is
+        given). The root is the exist (or believe) vertex whose interval
+        covers the instant."""
+        node = tup.loc if node is None else node
+        stats_before = _snapshot_stats(self.mq.stats)
+        root = self._find_interval_vertex(node, tup, at)
+        if root is None:
+            raise QueryError(
+                f"{tup!r} does not exist on {node!r}"
+                + (f" at t={at:g}" if at is not None else "")
+            )
+        return self._explore(root, "backward", scope, stats_before)
+
+    def why_appear(self, tup, node=None, before=None, scope=None):
+        """Dynamic query: why did τ appear (most recent appearance ≤
+        *before*)?"""
+        node = tup.loc if node is None else node
+        stats_before = _snapshot_stats(self.mq.stats)
+        root = self._find_change_vertex(node, tup, APPEAR, before)
+        if root is None:
+            raise QueryError(f"no appearance of {tup!r} on {node!r}")
+        return self._explore(root, "backward", scope, stats_before)
+
+    def why_disappear(self, tup, node=None, before=None, scope=None):
+        """Dynamic query: why did τ disappear?"""
+        node = tup.loc if node is None else node
+        stats_before = _snapshot_stats(self.mq.stats)
+        root = self._find_change_vertex(node, tup, DISAPPEAR, before)
+        if root is None:
+            raise QueryError(f"no disappearance of {tup!r} on {node!r}")
+        return self._explore(root, "backward", scope, stats_before)
+
+    def effects(self, tup, node=None, at=None, scope=None):
+        """Causal (forward) query: what was derived from τ?"""
+        node = tup.loc if node is None else node
+        stats_before = _snapshot_stats(self.mq.stats)
+        roots = []
+        interval = self._find_interval_vertex(node, tup, at)
+        if interval is None:
+            interval = self._find_latest_interval(node, tup)
+        if interval is not None:
+            roots.append(interval)
+        # Derivations made at the instant the tuple appeared hang off the
+        # (believe-)appear vertex rather than the interval vertex, and the
+        # tuple's *disappearance* has downstream effects of its own (−τ
+        # notifications, underivations), so the forward exploration seeds
+        # all of the tuple's change vertices alongside the interval vertex.
+        for kind in (APPEAR, DISAPPEAR):
+            change = self._find_change_vertex(node, tup, kind, None)
+            if change is not None:
+                roots.append(change)
+        if not roots:
+            raise QueryError(f"{tup!r} was never on {node!r}")
+        return self._explore(roots[0], "forward", scope, stats_before,
+                             extra_roots=roots[1:])
+
+    def history_of(self, tup, node=None):
+        """All exist intervals of τ on *node* (historical inspection)."""
+        node = tup.loc if node is None else node
+        view = self.mq.view_of(node)
+        if view.status != "ok":
+            return []
+        vertices = view.graph.find_all(vtype=EXIST, node=node, tup=tup)
+        return [(v.t, v.t_end) for v in vertices]
+
+    # ------------------------------------------------------------- lookup
+
+    def _find_interval_vertex(self, node, tup, at):
+        view = self.mq.view_of(node)
+        if view.status != "ok":
+            raise QueryError(
+                f"cannot query {node!r}: {view.status} "
+                f"({view.verdict_reason})"
+            )
+        candidates = view.graph.find_all(vtype=EXIST, node=node, tup=tup)
+        candidates += view.graph.find_all(vtype=BELIEVE, node=node, tup=tup)
+        best = None
+        for vertex in candidates:
+            if at is None:
+                if vertex.t_end is None:
+                    best = vertex
+            elif vertex.t <= at and (vertex.t_end is None
+                                     or at <= vertex.t_end):
+                best = vertex
+        return best
+
+    def _find_latest_interval(self, node, tup):
+        """The most recent exist/believe vertex of τ on *node*, open or
+        closed (used by effects queries on tuples that are already gone)."""
+        view = self.mq.view_of(node)
+        if view.status != "ok":
+            return None
+        candidates = view.graph.find_all(vtype=EXIST, node=node, tup=tup)
+        candidates += view.graph.find_all(vtype=BELIEVE, node=node, tup=tup)
+        if not candidates:
+            return None
+        return max(candidates, key=lambda v: v.t)
+
+    def _find_change_vertex(self, node, tup, vtype, before):
+        view = self.mq.view_of(node)
+        if view.status != "ok":
+            raise QueryError(
+                f"cannot query {node!r}: {view.status} "
+                f"({view.verdict_reason})"
+            )
+        kinds = [vtype]
+        kinds.append(
+            "believe-appear" if vtype == APPEAR else "believe-disappear"
+        )
+        best = None
+        for kind in kinds:
+            for vertex in view.graph.find_all(vtype=kind, node=node, tup=tup):
+                if before is not None and vertex.t > before:
+                    continue
+                if best is None or vertex.t > best.t:
+                    best = vertex
+        return best
+
+    # ---------------------------------------------------------- exploration
+
+    def _explore(self, root, direction, scope, stats_before=None,
+                 extra_roots=()):
+        if stats_before is None:
+            stats_before = _snapshot_stats(self.mq.stats)
+        graph = ProvenanceGraph()
+        resolved_root, _color = self.mq.resolve(root)
+        graph.add_vertex(_copy_vertex(resolved_root))
+        frontier = [(resolved_root, 0)]
+        visited = {resolved_root.key()}
+        for extra in extra_roots:
+            resolved, _c = self.mq.resolve(extra)
+            if resolved.key() in visited:
+                continue
+            graph.add_vertex(_copy_vertex(resolved))
+            visited.add(resolved.key())
+            frontier.append((resolved, 0))
+        while frontier:
+            vertex, depth = frontier.pop(0)
+            if scope is not None and depth >= scope:
+                continue
+            result = self.mq.microquery(vertex)
+            neighbors = (
+                result.predecessors if direction == "backward"
+                else result.successors
+            )
+            here = graph.get(vertex.key())
+            for neighbor in sorted(neighbors, key=lambda v: v.sort_key()):
+                resolved, _c = self.mq.resolve(neighbor)
+                mine = graph.add_vertex(_copy_vertex(resolved))
+                if direction == "backward":
+                    graph.add_edge(mine, here)
+                else:
+                    graph.add_edge(here, mine)
+                if resolved.key() not in visited:
+                    visited.add(resolved.key())
+                    frontier.append((resolved, depth + 1))
+        stats = _diff_stats(stats_before, self.mq.stats)
+        return QueryResult(graph.get(resolved_root.key()), graph, stats,
+                           direction)
+
+
+def _copy_vertex(vertex):
+    from repro.provgraph.graph import _clone_vertex
+    return _clone_vertex(vertex)
+
+
+def _snapshot_stats(stats):
+    snap = QueryStats()
+    snap.merge(stats)
+    return snap
+
+
+def _diff_stats(before, after):
+    delta = QueryStats()
+    for field in (
+        "log_bytes", "authenticator_bytes", "checkpoint_bytes",
+        "logs_fetched", "cache_hits", "auth_check_seconds",
+        "replay_seconds", "events_replayed", "microqueries",
+    ):
+        setattr(delta, field,
+                getattr(after, field) - getattr(before, field))
+    return delta

@@ -1,0 +1,181 @@
+"""Deterministic replay: log segment → history → provenance subgraph.
+
+Appendix D of the paper maps SNooPy logs onto GCA histories: "the logs
+maintained by the graph recorder are essentially histories, except that, for
+convenience, the latter contain an explicit ack entry type instead of
+rcv(ack)". The conversion rules:
+
+* ``ins``/``del`` entries become ``ins``/``del`` events;
+* a ``snd`` entry becomes a ``snd`` event;
+* a ``rcv`` entry becomes a ``rcv`` event **followed by the implied
+  ``snd(ack)`` event** — a correct node acknowledges a message immediately,
+  and its commitment to the rcv entry is the acknowledgment, so the history
+  reconstructs the per-message ack the GCA expects;
+* an ``ack`` entry becomes a ``rcv(ack)`` event covering the acknowledged
+  messages;
+* ``chk`` entries are not events; they seed the replay (state-machine
+  snapshot + open exist/believe vertices).
+
+Replay then runs the GCA over these events with a *fresh* state machine
+built by the node's registered application factory, yielding the node's
+partition of Gν.
+"""
+
+import time
+
+from repro.crypto.hashing import HashChain
+from repro.model import Ack
+from repro.provgraph.gca import Event, GraphConstructor
+from repro.snp.log import INS, DEL, SND, RCV, ACK, CHK
+from repro.util.errors import LogVerificationError, ReplayDivergence
+
+
+def log_entries_to_history(node_id, entries):
+    """Convert a contiguous run of log entries into GCA events."""
+    events = []
+    for entry in entries:
+        t = entry.timestamp
+        if entry.entry_type == INS:
+            events.append(Event(t, node_id, "ins", entry.aux["tup"]))
+        elif entry.entry_type == DEL:
+            events.append(Event(t, node_id, "del", entry.aux["tup"]))
+        elif entry.entry_type == SND:
+            events.append(Event(t, node_id, "snd", entry.aux["msg"]))
+        elif entry.entry_type == RCV:
+            msg = entry.aux["msg"]
+            events.append(Event(t, node_id, "rcv", msg))
+            implied_ack = Ack(node_id, msg.src, [msg], t)
+            events.append(Event(t, node_id, "snd", implied_ack))
+        elif entry.entry_type == ACK:
+            wire_ack = entry.aux["wire_ack"]
+            ack = Ack(wire_ack.src, node_id, wire_ack.msgs,
+                      wire_ack.auth.timestamp)
+            events.append(Event(t, node_id, "rcv", ack))
+        elif entry.entry_type == CHK:
+            continue
+        else:
+            raise LogVerificationError(node_id,
+                                       f"unknown entry {entry.entry_type}")
+    return events
+
+
+def verify_segment_hashes(response):
+    """Recompute the hash chain over a RetrieveResponse's entries.
+
+    Every entry's content digest is recomputed from its *content* — never
+    trusted from the entry — and folded into the chain. Returns the list of
+    chain hashes aligned with the entries. Raises LogVerificationError if
+    anything fails to recompute, which means the node altered entry
+    contents after committing to them.
+    """
+    from repro.crypto.hashing import chain_hash, content_digest
+
+    hashes = []
+    current = response.start_hash
+    for entry in response.entries:
+        digest = content_digest(entry.content)
+        if digest != entry.content_hash:
+            raise LogVerificationError(
+                response.node,
+                f"entry {entry.index} content does not match its digest",
+            )
+        current = chain_hash(
+            current, entry.timestamp, entry.entry_type, digest
+        )
+        if entry.entry_hash != current:
+            raise LogVerificationError(
+                response.node,
+                f"entry {entry.index} hash does not recompute",
+            )
+        hashes.append(current)
+    return hashes
+
+
+def check_against_authenticator(response, hashes, auth):
+    """Check that evidence authenticator *auth* lies on this chain.
+
+    The authenticator's (index, hash) must match the segment. Raises
+    LogVerificationError on mismatch — that is *proof* the node forked or
+    rewrote its log, because both the authenticator and the returned
+    segment are signed/committed by the same node.
+    """
+    index = auth.index
+    first = response.start_index
+    last = first + len(response.entries) - 1
+    if index < first:
+        return  # authenticator predates the segment; nothing to compare
+    if index > last:
+        raise LogVerificationError(
+            response.node,
+            f"returned log ends at {last} but evidence covers {index}",
+        )
+    found = hashes[index - first]
+    if found != auth.entry_hash:
+        raise LogVerificationError(
+            response.node,
+            f"authenticator for entry {index} does not match the log "
+            "(equivocation or tampering)",
+        )
+
+
+class ReplayResult:
+    """Outcome of replaying one node's log segment."""
+
+    __slots__ = ("node", "graph", "machine", "events_replayed",
+                 "replay_seconds", "hashes", "response", "failure")
+
+    def __init__(self, node, graph, machine, events_replayed, replay_seconds,
+                 hashes, response, failure=None):
+        self.node = node
+        self.graph = graph
+        self.machine = machine
+        self.events_replayed = events_replayed
+        self.replay_seconds = replay_seconds
+        self.hashes = hashes
+        self.response = response
+        self.failure = failure
+
+    @property
+    def ok(self):
+        return self.failure is None
+
+
+def replay_segment(node_id, response, app_factory, t_prop,
+                   known_alarm_msg_ids=frozenset()):
+    """Replay a verified RetrieveResponse through the GCA.
+
+    Returns a ReplayResult whose graph is the node's partition of Gν. A
+    structurally impossible log (one the deterministic state machine cannot
+    have produced) does not raise: the GCA colors the offending vertices
+    red, which is exactly the paper's semantics. Only outright crashes of
+    the application machine are caught and reported as a replay failure
+    (which the microquery module turns into a red vertex).
+    """
+    gca = GraphConstructor(app_factory, t_prop=t_prop)
+    gca.known_alarm_msg_ids = known_alarm_msg_ids
+    if response.checkpoint is not None:
+        chk = response.checkpoint
+        machine = gca.machine(node_id)
+        machine.restore(chk.aux["snapshot"])
+        gca.seed_node(node_id, chk.aux["extant"], chk.aux["believed"])
+    events = log_entries_to_history(node_id, response.entries)
+    started = time.perf_counter()
+    failure = None
+    processed = 0
+    try:
+        for event in events:
+            gca.process(event)
+            processed += 1
+    except Exception as exc:  # hostile log crashed the replay machinery
+        failure = ReplayDivergence(node_id, repr(exc))
+    elapsed = time.perf_counter() - started
+    return ReplayResult(
+        node=node_id,
+        graph=gca.graph,
+        machine=gca.machines.get(node_id),
+        events_replayed=processed,
+        replay_seconds=elapsed,
+        hashes=None,
+        response=response,
+        failure=failure,
+    )

@@ -1,0 +1,22 @@
+"""Shared utilities: errors, deterministic ids, canonical serialization, clocks."""
+
+from repro.util.errors import (
+    ReproError,
+    AuthenticationError,
+    LogVerificationError,
+    ReplayDivergence,
+    QueryError,
+)
+from repro.util.serialization import canonical_bytes, canonical_size
+from repro.util.clock import DriftingClock
+
+__all__ = [
+    "ReproError",
+    "AuthenticationError",
+    "LogVerificationError",
+    "ReplayDivergence",
+    "QueryError",
+    "canonical_bytes",
+    "canonical_size",
+    "DriftingClock",
+]

@@ -1,0 +1,30 @@
+"""Simulated per-node clocks.
+
+The paper (Section 5.2, assumption 5) assumes every node has a local clock
+synchronized to within ``delta_clock`` of true time. We model each node's
+clock as the simulator's global time plus a fixed skew drawn from
+``[-delta_clock/2, +delta_clock/2]``. Skews are fixed per node (no drift over
+a run) which is enough for the commitment protocol's plausibility window
+checks; the protocol only needs a bound, not a model of drift dynamics.
+"""
+
+
+class DriftingClock:
+    """A node-local clock derived from global simulation time plus skew."""
+
+    def __init__(self, skew=0.0):
+        self.skew = skew
+        self._now = 0.0
+
+    def advance_to(self, global_time):
+        """Move the underlying global time forward (monotonically)."""
+        if global_time < self._now:
+            raise ValueError("simulation time moved backwards")
+        self._now = global_time
+
+    def read(self):
+        """Current node-local time (global time + skew)."""
+        return self._now + self.skew
+
+    def global_time(self):
+        return self._now

@@ -1,0 +1,88 @@
+"""Canonical, deterministic serialization.
+
+Everything that is hashed or signed in SNooPy (log entries, tuples, message
+payloads, checkpoints) must serialize to the *same* byte string on every node
+and on every replay. ``repr`` is not guaranteed stable across containers and
+pickle is not canonical, so we define a small recursive encoding with an
+explicit type tag per value.
+
+The encoding is length-prefixed and unambiguous, which also makes it safe to
+use for equality-by-hash comparisons.
+"""
+
+import struct
+
+_TAG_NONE = b"N"
+_TAG_TRUE = b"T"
+_TAG_FALSE = b"F"
+_TAG_INT = b"i"
+_TAG_FLOAT = b"f"
+_TAG_STR = b"s"
+_TAG_BYTES = b"b"
+_TAG_TUPLE = b"t"
+_TAG_LIST = b"l"
+_TAG_DICT = b"d"
+_TAG_FROZENSET = b"S"
+
+
+def canonical_bytes(value):
+    """Encode *value* into a canonical byte string.
+
+    Supports None, bool, int, float, str, bytes, and (recursively) tuples,
+    lists, dicts (sorted by encoded key) and frozensets (sorted by encoded
+    element). Raises TypeError for anything else — objects that want to be
+    hashable by the provenance layer expose a ``canonical()`` method
+    returning one of the supported types.
+    """
+    out = []
+    _encode(value, out)
+    return b"".join(out)
+
+
+def canonical_size(value):
+    """Byte size of the canonical encoding (used for traffic accounting)."""
+    return len(canonical_bytes(value))
+
+
+def _encode(value, out):
+    if value is None:
+        out.append(_TAG_NONE)
+    elif value is True:
+        out.append(_TAG_TRUE)
+    elif value is False:
+        out.append(_TAG_FALSE)
+    elif isinstance(value, int):
+        body = str(value).encode("ascii")
+        out.append(_TAG_INT + struct.pack(">I", len(body)) + body)
+    elif isinstance(value, float):
+        out.append(_TAG_FLOAT + struct.pack(">d", value))
+    elif isinstance(value, str):
+        body = value.encode("utf-8")
+        out.append(_TAG_STR + struct.pack(">I", len(body)) + body)
+    elif isinstance(value, bytes):
+        out.append(_TAG_BYTES + struct.pack(">I", len(value)) + value)
+    elif isinstance(value, tuple):
+        out.append(_TAG_TUPLE + struct.pack(">I", len(value)))
+        for item in value:
+            _encode(item, out)
+    elif isinstance(value, list):
+        out.append(_TAG_LIST + struct.pack(">I", len(value)))
+        for item in value:
+            _encode(item, out)
+    elif isinstance(value, dict):
+        encoded = sorted(
+            (canonical_bytes(k), canonical_bytes(v)) for k, v in value.items()
+        )
+        out.append(_TAG_DICT + struct.pack(">I", len(encoded)))
+        for key_bytes, val_bytes in encoded:
+            out.append(struct.pack(">I", len(key_bytes)) + key_bytes)
+            out.append(struct.pack(">I", len(val_bytes)) + val_bytes)
+    elif isinstance(value, frozenset):
+        encoded = sorted(canonical_bytes(item) for item in value)
+        out.append(_TAG_FROZENSET + struct.pack(">I", len(encoded)))
+        for item_bytes in encoded:
+            out.append(struct.pack(">I", len(item_bytes)) + item_bytes)
+    elif hasattr(value, "canonical"):
+        _encode(value.canonical(), out)
+    else:
+        raise TypeError(f"cannot canonically encode {type(value).__name__}")

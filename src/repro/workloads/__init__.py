@@ -1,0 +1,24 @@
+"""Synthetic workload generators.
+
+The paper's evaluation drives its applications with external datasets we do
+not have (a RouteViews BGP trace, a Wikipedia crawl from WebBase). These
+generators produce seeded synthetic equivalents with the same structure —
+announce/withdraw update streams with skewed prefix popularity, and
+Zipf-distributed text — so the benchmarks exercise identical code paths at
+configurable scale. See DESIGN.md's substitution table.
+"""
+
+from repro.workloads.routeviews import RouteViewsTrace, UpdateEvent
+from repro.workloads.text import ZipfCorpus
+from repro.workloads.topology import (
+    tiered_as_topology, ring_edges, random_graph_edges,
+)
+
+__all__ = [
+    "RouteViewsTrace",
+    "UpdateEvent",
+    "ZipfCorpus",
+    "tiered_as_topology",
+    "ring_edges",
+    "random_graph_edges",
+]

@@ -1,0 +1,69 @@
+"""Synthetic RouteViews-style BGP update traces.
+
+The paper injects ~15,000 updates from a RouteViews trace over 15 minutes
+(Section 7.1) — roughly 1,350 route changes per minute. We generate a
+seeded stream of announce/withdraw events with Zipf-skewed prefix
+popularity (a small number of unstable prefixes produce most updates, as in
+real BGP), alternating announce/withdraw per prefix so the stream is always
+consistent (never withdrawing a route that is not currently announced).
+"""
+
+import random
+
+
+class UpdateEvent:
+    """One trace event: announce or withdraw of *prefix* at the origin."""
+
+    __slots__ = ("kind", "prefix")
+
+    ANNOUNCE = "announce"
+    WITHDRAW = "withdraw"
+
+    def __init__(self, kind, prefix):
+        self.kind = kind
+        self.prefix = prefix
+
+    def __repr__(self):
+        return f"UpdateEvent({self.kind}, {self.prefix})"
+
+
+class RouteViewsTrace:
+    """A deterministic synthetic update stream."""
+
+    def __init__(self, n_updates=200, n_prefixes=40, skew=1.2, seed=0):
+        self.n_updates = n_updates
+        self.n_prefixes = n_prefixes
+        self.skew = skew
+        self.seed = seed
+
+    def prefixes(self):
+        return [f"{10 + i // 256}.{i % 256}.0.0/16"
+                for i in range(self.n_prefixes)]
+
+    def events(self):
+        """Yield UpdateEvents; every withdraw follows an announce of the
+        same prefix, and the stream starts by announcing each prefix."""
+        rng = random.Random(self.seed)
+        prefixes = self.prefixes()
+        weights = [1.0 / ((rank + 1) ** self.skew)
+                   for rank in range(len(prefixes))]
+        announced = set()
+        produced = 0
+        # Initial table: announce everything once (like a BGP session
+        # coming up and transferring the full RIB).
+        for prefix in prefixes:
+            if produced >= self.n_updates:
+                return
+            announced.add(prefix)
+            produced += 1
+            yield UpdateEvent(UpdateEvent.ANNOUNCE, prefix)
+        while produced < self.n_updates:
+            prefix = rng.choices(prefixes, weights=weights, k=1)[0]
+            if prefix in announced:
+                announced.discard(prefix)
+                kind = UpdateEvent.WITHDRAW
+            else:
+                announced.add(prefix)
+                kind = UpdateEvent.ANNOUNCE
+            produced += 1
+            yield UpdateEvent(kind, prefix)

@@ -1,0 +1,70 @@
+"""Synthetic text corpora for the WordCount experiments.
+
+The paper's Hadoop runs count words in 1.2–10.3 GB of Wikipedia/WebBase
+data. We generate Zipf-distributed text (natural language is approximately
+Zipfian) at a configurable size, with the ability to *plant* an exact
+number of occurrences of a marker word — the Hadoop-Squirrel scenario needs
+a corpus where the ground-truth count of 'squirrel' is known.
+"""
+
+import random
+
+_SYLLABLES = [
+    "ba", "co", "di", "fu", "ga", "he", "ki", "lo", "mu", "na",
+    "pe", "qui", "ro", "sa", "tu", "ve", "wo", "xi", "yu", "za",
+]
+
+
+def _make_vocabulary(size, rng):
+    vocab = []
+    seen = set()
+    while len(vocab) < size:
+        word = "".join(rng.choices(_SYLLABLES, k=rng.randint(2, 4)))
+        if word not in seen:
+            seen.add(word)
+            vocab.append(word)
+    return vocab
+
+
+class ZipfCorpus:
+    """A seeded Zipf-distributed corpus split into mapper inputs."""
+
+    def __init__(self, n_words=2000, vocabulary=300, skew=1.1, seed=0,
+                 planted=None):
+        """*planted* maps marker words to exact total occurrence counts;
+        planted words never collide with the generated vocabulary."""
+        self.n_words = n_words
+        self.vocabulary_size = vocabulary
+        self.skew = skew
+        self.seed = seed
+        self.planted = dict(planted or {})
+
+    def words(self):
+        rng = random.Random(self.seed)
+        vocab = _make_vocabulary(self.vocabulary_size, rng)
+        weights = [1.0 / ((rank + 1) ** self.skew)
+                   for rank in range(len(vocab))]
+        body_count = max(0, self.n_words - sum(self.planted.values()))
+        body = rng.choices(vocab, weights=weights, k=body_count)
+        for word, count in sorted(self.planted.items()):
+            positions = sorted(
+                rng.sample(range(len(body) + count),
+                           min(count, len(body) + count))
+            )
+            for offset, position in enumerate(positions):
+                body.insert(min(position, len(body)), word)
+        return body
+
+    def splits(self, n_splits):
+        """Partition the corpus into *n_splits* texts (one per mapper)."""
+        words = self.words()
+        per = max(1, len(words) // n_splits)
+        texts = []
+        for index in range(n_splits):
+            start = index * per
+            end = (index + 1) * per if index < n_splits - 1 else len(words)
+            texts.append(" ".join(words[start:end]))
+        return texts
+
+    def true_count(self, word):
+        return sum(1 for w in self.words() if w == word)

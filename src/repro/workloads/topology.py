@@ -1,0 +1,71 @@
+"""Topology generators: tiered AS graphs, rings, random graphs.
+
+The paper's Quagga experiment uses 35 daemons in 10 ASes "with a mix of
+tier-1 and small stub ASes, and both customer/provider and peering
+relationships" (Section 7.1). :func:`tiered_as_topology` builds such a mix
+deterministically.
+"""
+
+import random
+
+from repro.apps.bgp import BgpDaemon, CUSTOMER, PEER, PROVIDER
+
+
+def tiered_as_topology(n_tier1=3, n_mid=4, n_stub=8, seed=0,
+                       originated_by_stubs=True):
+    """Build daemons for a three-tier AS hierarchy.
+
+    Tier-1 ASes form a full peering mesh; each mid-tier AS buys transit
+    from two tier-1s; each stub buys transit from one or two mid-tier ASes.
+    Stubs originate one prefix each (the update workload re-announces
+    them). Returns (daemons, prefixes).
+    """
+    rng = random.Random(seed)
+    tier1 = [f"t1-{i}" for i in range(n_tier1)]
+    mid = [f"m-{i}" for i in range(n_mid)]
+    stub = [f"s-{i}" for i in range(n_stub)]
+    neighbors = {asn: {} for asn in tier1 + mid + stub}
+    for i, a in enumerate(tier1):
+        for b in tier1[i + 1:]:
+            neighbors[a][b] = PEER
+            neighbors[b][a] = PEER
+    for i, m in enumerate(mid):
+        providers = rng.sample(tier1, min(2, len(tier1)))
+        for p in providers:
+            neighbors[m][p] = PROVIDER
+            neighbors[p][m] = CUSTOMER
+    for i, s in enumerate(stub):
+        providers = rng.sample(mid, min(2, len(mid)))
+        for p in providers:
+            neighbors[s][p] = PROVIDER
+            neighbors[p][s] = CUSTOMER
+    prefixes = {}
+    daemons = []
+    for asn in tier1 + mid + stub:
+        originated = []
+        if originated_by_stubs and asn.startswith("s-"):
+            prefix = f"10.{len(prefixes)}.0.0/16"
+            prefixes[asn] = prefix
+            originated = [prefix]
+        daemons.append(BgpDaemon(asn, neighbors[asn], originated=originated))
+    return daemons, prefixes
+
+
+def ring_edges(names):
+    """Edges of a simple ring over *names*."""
+    return [(names[i], names[(i + 1) % len(names)])
+            for i in range(len(names))]
+
+
+def random_graph_edges(names, degree=3, seed=0):
+    """A connected random graph: a ring plus random chords."""
+    rng = random.Random(seed)
+    edges = set(ring_edges(names))
+    target = max(0, degree - 2) * len(names) // 2
+    attempts = 0
+    while len(edges) < len(names) + target and attempts < 50 * len(names):
+        attempts += 1
+        a, b = rng.sample(names, 2)
+        if (a, b) not in edges and (b, a) not in edges:
+            edges.add((a, b))
+    return sorted(edges)

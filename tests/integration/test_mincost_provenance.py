@@ -1,0 +1,133 @@
+"""Figure 2 reproduction: the provenance tree of bestCost(@c,d,5).
+
+The paper's running example: router c's best cost to d is 5, derivable
+both from its direct link (cost 5) and via b (2+3). The provenance tree
+must contain the cross-node chain derive(R3) ← believe-appear ← receive ←
+send ← appear ← derive(R2) ← {link exist, bestCost appear} ← derive(R1) ←
+insert, with every vertex black.
+"""
+
+import pytest
+
+from repro.apps.mincost import best_cost, cost, link
+from repro.provgraph.vertices import (
+    APPEAR, BELIEVE_APPEAR, DERIVE, EXIST, INSERT, RECEIVE, SEND,
+)
+from repro.snp import QueryProcessor
+
+
+class TestFigure2:
+    @pytest.fixture(autouse=True)
+    def _query(self, mincost_query):
+        self.dep, self.nodes, self.qp = mincost_query
+        self.result = self.qp.why(best_cost("c", "d", 5))
+
+    def test_best_cost_value_matches_paper(self):
+        got = self.nodes["c"].app.tuples_of("bestCost")
+        assert best_cost("c", "d", 5) in got
+
+    def test_all_black(self):
+        assert self.result.is_clean()
+        assert self.result.faulty_nodes() == []
+
+    def test_root_is_exist_vertex(self):
+        assert self.result.root.vtype == EXIST
+        assert self.result.root.tup == best_cost("c", "d", 5)
+
+    def _types(self):
+        return {v.vtype for v in self.result.vertices()}
+
+    def test_contains_cross_node_chain(self):
+        types = self._types()
+        for required in (DERIVE, APPEAR, EXIST, BELIEVE_APPEAR, RECEIVE,
+                         SEND, INSERT):
+            assert required in types, f"missing {required}"
+
+    def test_derivations_present(self):
+        rules = {v.rule for v in self.result.vertices()
+                 if v.vtype == DERIVE}
+        assert {"R1", "R2", "R3"} <= rules
+
+    def test_leaves_are_base_inserts(self):
+        # Walking backwards must bottom out at link insertions.
+        inserts = {v.tup for v in self.result.vertices()
+                   if v.vtype == INSERT}
+        assert link("b", "c", 2) in inserts
+        assert link("b", "d", 3) in inserts
+
+    def test_remote_derivation_attributed_to_b(self):
+        # cost(@c,d,b,5) is derived ON b (Figure 2's key structural point).
+        derives = [v for v in self.result.vertices()
+                   if v.vtype == DERIVE and v.tup == cost("c", "d", "b", 5)]
+        assert derives and all(v.node == "b" for v in derives)
+
+    def test_send_receive_pair_linked(self):
+        sends = [v for v in self.result.vertices() if v.vtype == SEND]
+        receives = [v for v in self.result.vertices()
+                    if v.vtype == RECEIVE]
+        assert sends and receives
+        send_keys = {v.msg.full_key() for v in sends}
+        assert all(r.msg.full_key() in send_keys for r in receives)
+
+    def test_pretty_rendering_mentions_vertices(self):
+        text = self.result.pretty()
+        assert "EXIST(c, bestCost(@c, 'd', 5)" in text
+        assert "SEND(b, c" in text
+
+
+class TestOtherQueriesOnMincost:
+    def test_effects_forward_query(self, mincost_query):
+        dep, nodes, qp = mincost_query
+        result = qp.effects(link("b", "d", 3), scope=20)
+        derived = {v.tup for v in result.vertices() if v.vtype == APPEAR}
+        # The link ultimately feeds c's bestCost to d.
+        assert any(t == best_cost("c", "d", 5) for t in derived)
+
+    def test_historical_query_after_change(self, mincost_query):
+        dep, nodes, qp = mincost_query
+        t_before = dep.sim.now
+        nodes["c"].delete(link("c", "d", 5))
+        nodes["d"].delete(link("d", "c", 5))
+        dep.run()
+        qp2 = QueryProcessor(dep)
+        # Historical: why did cost(@c,d,d,5) exist back then?
+        res = qp2.why(cost("c", "d", "d", 5), at=t_before - 0.02)
+        assert res.root.vtype == EXIST
+        assert res.root.t_end is not None  # closed by the deletion
+
+    def test_dynamic_disappear_query(self, mincost_query):
+        dep, nodes, qp = mincost_query
+        nodes["c"].delete(link("c", "d", 5))
+        nodes["d"].delete(link("d", "c", 5))
+        dep.run()
+        qp2 = QueryProcessor(dep)
+        res = qp2.why_disappear(cost("c", "d", "d", 5))
+        assert res.is_clean()
+        # The cause chain reaches the delete event.
+        assert any(v.vtype == "delete" for v in res.vertices())
+
+    def test_scope_limits_exploration(self, mincost_query):
+        dep, nodes, qp = mincost_query
+        shallow = qp.why(best_cost("c", "d", 5), scope=2)
+        deep = QueryProcessor(dep).why(best_cost("c", "d", 5), scope=50)
+        assert len(shallow.graph) < len(deep.graph)
+
+    def test_history_of_reports_intervals(self, mincost_query):
+        dep, nodes, qp = mincost_query
+        intervals = qp.history_of(cost("c", "d", "d", 5))
+        assert len(intervals) == 1
+        assert intervals[0][1] is None  # still open
+
+    def test_query_error_for_unknown_tuple(self, mincost_query):
+        from repro.util.errors import QueryError
+        dep, nodes, qp = mincost_query
+        with pytest.raises(QueryError):
+            qp.why(best_cost("c", "zzz", 1))
+
+    def test_repeat_query_hits_cache(self, mincost_query):
+        dep, nodes, qp = mincost_query
+        first = qp.why(best_cost("c", "d", 5))
+        second = qp.why(best_cost("c", "d", 5))
+        assert second.stats.logs_fetched == 0
+        assert second.stats.cache_hits > 0
+        assert first.stats.logs_fetched > 0

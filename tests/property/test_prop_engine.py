@@ -1,0 +1,170 @@
+"""Property-based tests of the Datalog engine's core invariants.
+
+The security of the whole system rests on the engine being a correct,
+deterministic incremental evaluator: replay regenerates the provenance
+graph from it. Hypothesis drives random insert/delete/receive sequences
+and checks:
+
+* **incremental = from-scratch**: the tuple set after an arbitrary update
+  sequence equals the set produced by a fresh evaluation of the surviving
+  base tuples/beliefs;
+* **determinism**: identical input sequences give identical output
+  sequences (what deterministic replay requires);
+* **der/und pairing**: every tuple's der/und outputs strictly alternate;
+* **snapshot/restore transparency**.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.datalog import (
+    Var, Expr, Atom, Rule, AggregateRule, Program, DatalogApp,
+)
+from repro.model import Der, Msg, Snd, Tup, Und, PLUS, MINUS
+
+X, Y, Z, K = Var("X"), Var("Y"), Var("Z"), Var("K")
+
+
+def _program():
+    """A small but representative program: a join, a remote head, and a
+    min-aggregate, over base relations e/f."""
+    return Program([
+        Rule("J", Atom("j", X, Y, K),
+             [Atom("e", X, Y), Atom("f", X, Y, K)]),
+        Rule("Fwd", Atom("fwd", Y, X, K), [Atom("j", X, Y, K)]),
+        AggregateRule("Min", Atom("low", X, K), [Atom("f", X, Y, K)],
+                      agg_var=K, func="min"),
+    ])
+
+
+base_tuples = st.one_of(
+    st.tuples(st.sampled_from(["p", "q"]),
+              st.integers(0, 2)).map(lambda t: Tup("e", "n", t[0], )),
+    st.tuples(st.sampled_from(["p", "q"]), st.integers(0, 3)).map(
+        lambda t: Tup("f", "n", t[0], t[1])),
+)
+
+operations = st.lists(
+    st.tuples(st.sampled_from(["ins", "del"]), base_tuples),
+    min_size=1, max_size=30,
+)
+
+
+def _apply(app, ops):
+    outputs = []
+    t = 0.0
+    for kind, tup in ops:
+        t += 1.0
+        if kind == "ins":
+            outputs.extend(app.handle_insert(tup, t))
+        else:
+            outputs.extend(app.handle_delete(tup, t))
+    return outputs
+
+
+def _surviving_base(ops):
+    counts = {}
+    for kind, tup in ops:
+        if kind == "ins":
+            counts[tup] = counts.get(tup, 0) + 1
+        elif counts.get(tup, 0) > 0:
+            counts[tup] -= 1
+    return [tup for tup, count in counts.items() for _ in range(count)]
+
+
+class TestEngineProperties:
+    @given(operations)
+    @settings(max_examples=100, deadline=None)
+    def test_incremental_matches_from_scratch(self, ops):
+        incremental = DatalogApp("n", _program())
+        _apply(incremental, ops)
+        scratch = DatalogApp("n", _program())
+        t = 1000.0
+        for tup in _surviving_base(ops):
+            scratch.handle_insert(tup, t)
+            t += 1.0
+        for relation in ("j", "low", "fwd"):
+            assert set(incremental.tuples_of(relation)) == \
+                set(scratch.tuples_of(relation)), relation
+
+    @given(operations)
+    @settings(max_examples=60, deadline=None)
+    def test_determinism(self, ops):
+        a = _apply(DatalogApp("n", _program()), ops)
+        b = _apply(DatalogApp("n", _program()), ops)
+        assert [repr(o) for o in a] == [repr(o) for o in b]
+
+    @given(operations)
+    @settings(max_examples=60, deadline=None)
+    def test_der_und_strictly_alternate(self, ops):
+        outputs = _apply(DatalogApp("n", _program()), ops)
+        state = {}
+        for out in outputs:
+            if isinstance(out, Der):
+                assert state.get(out.tup) in (None, "out"), out
+                state[out.tup] = "in"
+            elif isinstance(out, Und):
+                assert state.get(out.tup) == "in", out
+                state[out.tup] = "out"
+
+    @given(operations)
+    @settings(max_examples=60, deadline=None)
+    def test_plus_minus_messages_alternate_per_tuple(self, ops):
+        outputs = _apply(DatalogApp("n", _program()), ops)
+        state = {}
+        for out in outputs:
+            if isinstance(out, Snd):
+                tup = out.msg.tup
+                if out.msg.polarity == PLUS:
+                    assert state.get(tup) in (None, "-")
+                    state[tup] = "+"
+                else:
+                    assert state.get(tup) == "+"
+                    state[tup] = "-"
+
+    @given(operations, st.integers(min_value=0, max_value=29))
+    @settings(max_examples=60, deadline=None)
+    def test_snapshot_restore_is_transparent(self, ops, cut):
+        cut = min(cut, len(ops))
+        straight = DatalogApp("n", _program())
+        _apply(straight, ops)
+
+        first = DatalogApp("n", _program())
+        _apply(first, ops[:cut])
+        snap = first.snapshot()
+        resumed = DatalogApp("n", _program())
+        resumed.restore(snap)
+        t = float(cut)
+        for kind, tup in ops[cut:]:
+            t += 1.0
+            if kind == "ins":
+                resumed.handle_insert(tup, t)
+            else:
+                resumed.handle_delete(tup, t)
+        for relation in ("e", "f", "j", "low"):
+            assert set(straight.tuples_of(relation)) == \
+                set(resumed.tuples_of(relation))
+
+    @given(st.lists(st.tuples(st.sampled_from([PLUS, MINUS]),
+                              st.integers(0, 2)),
+                    min_size=1, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_beliefs_track_notifications(self, notes):
+        app = DatalogApp("n", _program())
+        seq = 0
+        believed = {}
+        t = 0.0
+        for polarity, value in notes:
+            tup = Tup("f", "n", "p", value)
+            t += 1.0
+            msg = Msg(polarity, tup, "peer", "n", seq, t)
+            seq += 1
+            app.handle_receive(msg, t)
+            count = believed.get(tup, 0)
+            if polarity == PLUS:
+                believed[tup] = count + 1
+            else:
+                # The store ignores a spurious −τ for a tuple it does not
+                # believe (only a faulty peer produces one).
+                believed[tup] = max(0, count - 1)
+        for tup, count in believed.items():
+            assert app.store.believed(tup) == (count > 0)

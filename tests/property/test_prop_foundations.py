@@ -1,0 +1,128 @@
+"""Property-based tests: serialization, hash chain, Merkle trees.
+
+These are the invariants the security argument leans on: canonical
+encoding must be injective-in-practice and deterministic, the hash chain
+must commit to order and content, and Merkle proofs must verify exactly
+the committed leaf.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.hashing import HashChain, content_digest
+from repro.crypto.merkle import MerkleTree
+from repro.model import Tup
+from repro.util.serialization import canonical_bytes
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2 ** 64), max_value=2 ** 64),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=20),
+    st.binary(max_size=20),
+)
+
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4).map(tuple),
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=5), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+class TestCanonicalBytes:
+    @given(values)
+    def test_deterministic(self, value):
+        assert canonical_bytes(value) == canonical_bytes(value)
+
+    @given(values, values)
+    def test_distinct_values_distinct_encodings(self, a, b):
+        # For values that compare unequal, encodings differ (int/float
+        # cross-equality like 1 == 1.0 is carved out: the encoding is
+        # deliberately type-tagged).
+        if a != b or type(a) is not type(b):
+            if canonical_bytes(a) == canonical_bytes(b):
+                assert a == b and type(a) is type(b)
+
+    @given(st.text(max_size=10), st.text(max_size=10),
+           st.lists(st.integers(), max_size=3))
+    def test_tup_encoding_tracks_fields(self, rel, loc, args):
+        t1 = Tup(rel, loc, *args)
+        t2 = Tup(rel + "x", loc, *args)
+        assert canonical_bytes(t1) != canonical_bytes(t2)
+
+
+class TestHashChainProperties:
+    entries = st.lists(
+        st.tuples(st.floats(min_value=0, max_value=1e6, allow_nan=False),
+                  st.sampled_from(["ins", "del", "snd", "rcv", "ack"]),
+                  st.text(max_size=10)),
+        min_size=1, max_size=20,
+    )
+
+    @given(entries)
+    def test_chain_deterministic(self, items):
+        def build():
+            chain = HashChain()
+            for t, y, c in items:
+                chain.append(t, y, content_digest((c,)))
+            return chain.head()
+        assert build() == build()
+
+    @given(entries, st.integers(min_value=0, max_value=19))
+    def test_any_modification_changes_head(self, items, position):
+        if position >= len(items):
+            position = len(items) - 1
+        original = HashChain()
+        for t, y, c in items:
+            original.append(t, y, content_digest((c,)))
+        modified = HashChain()
+        for index, (t, y, c) in enumerate(items):
+            payload = (c + "-tampered",) if index == position else (c,)
+            modified.append(t, y, content_digest(payload))
+        assert original.head() != modified.head()
+
+    @given(entries)
+    def test_prefix_hashes_stable_under_extension(self, items):
+        chain = HashChain()
+        prefix_hashes = []
+        for t, y, c in items:
+            chain.append(t, y, content_digest((c,)))
+            prefix_hashes.append(chain.head())
+        # Extending the chain never changes earlier hashes.
+        chain.append(99.0, "ins", content_digest(("extra",)))
+        for index, expected in enumerate(prefix_hashes):
+            assert chain.hash_at(index + 1) == expected
+
+
+class TestMerkleProperties:
+    leaves = st.lists(st.tuples(st.text(max_size=8), st.integers()),
+                      min_size=1, max_size=24)
+
+    @given(leaves)
+    @settings(max_examples=50)
+    def test_every_leaf_has_valid_proof(self, items):
+        tree = MerkleTree(items)
+        for index, leaf in enumerate(items):
+            assert MerkleTree.verify_proof(leaf, tree.proof(index),
+                                           tree.root())
+
+    @given(leaves, st.integers(min_value=0, max_value=23))
+    @settings(max_examples=50)
+    def test_proof_rejects_other_leaves(self, items, index):
+        index %= len(items)
+        tree = MerkleTree(items)
+        proof = tree.proof(index)
+        impostor = ("impostor", -1)
+        if impostor != items[index]:
+            assert not MerkleTree.verify_proof(impostor, proof, tree.root())
+
+    @given(leaves)
+    @settings(max_examples=50)
+    def test_root_commits_to_leaf_set(self, items):
+        tree = MerkleTree(items)
+        extended = MerkleTree(items + [("extra", 0)])
+        assert tree.root() != extended.root()

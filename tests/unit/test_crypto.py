@@ -1,0 +1,171 @@
+"""Crypto substrate: RSA, certificates, hash chains, Merkle trees."""
+
+import pytest
+
+from repro.crypto.hashing import HashChain, GENESIS_HASH, content_digest
+from repro.crypto.keys import CertificateAuthority, NodeIdentity
+from repro.crypto.merkle import MerkleTree, EMPTY_ROOT
+from repro.crypto.rsa import generate_keypair
+from repro.util.errors import AuthenticationError
+
+
+class TestRsa:
+    def test_sign_verify_roundtrip(self):
+        key = generate_keypair(bits=256, seed=1)
+        sig = key.sign(b"hello")
+        assert key.verify(b"hello", sig)
+
+    def test_tampered_message_rejected(self):
+        key = generate_keypair(bits=256, seed=1)
+        sig = key.sign(b"hello")
+        assert not key.verify(b"hellp", sig)
+
+    def test_tampered_signature_rejected(self):
+        key = generate_keypair(bits=256, seed=1)
+        sig = bytearray(key.sign(b"hello"))
+        sig[0] ^= 0xFF
+        assert not key.verify(b"hello", bytes(sig))
+
+    def test_wrong_key_rejected(self):
+        a = generate_keypair(bits=256, seed=1)
+        b = generate_keypair(bits=256, seed=2)
+        assert not b.verify(b"hello", a.sign(b"hello"))
+
+    def test_deterministic_keygen(self):
+        a = generate_keypair(bits=256, seed=7)
+        b = generate_keypair(bits=256, seed=7)
+        assert (a.n, a.e) == (b.n, b.e)
+
+    def test_different_seeds_different_keys(self):
+        a = generate_keypair(bits=256, seed=7)
+        b = generate_keypair(bits=256, seed=8)
+        assert a.n != b.n
+
+    def test_public_only_cannot_sign(self):
+        key = generate_keypair(bits=256, seed=1).public_only()
+        with pytest.raises(AuthenticationError):
+            key.sign(b"x")
+
+    def test_public_only_can_verify(self):
+        key = generate_keypair(bits=256, seed=1)
+        sig = key.sign(b"payload")
+        assert key.public_only().verify(b"payload", sig)
+
+    def test_modulus_size(self):
+        key = generate_keypair(bits=512, seed=3)
+        assert key.bits == 512
+
+    def test_fingerprint_stable(self):
+        key = generate_keypair(bits=256, seed=4)
+        assert key.fingerprint() == key.public_only().fingerprint()
+
+    def test_too_small_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            generate_keypair(bits=64)
+
+    def test_wrong_length_signature_rejected(self):
+        key = generate_keypair(bits=256, seed=1)
+        assert not key.verify(b"hello", b"\x00" * 7)
+
+
+class TestCertificates:
+    def test_issue_and_verify(self):
+        ca = CertificateAuthority(key_bits=256, seed=9)
+        identity = NodeIdentity("n1", ca, key_bits=256)
+        assert ca.verify(identity.certificate)
+
+    def test_forged_certificate_rejected(self):
+        ca = CertificateAuthority(key_bits=256, seed=9)
+        identity = NodeIdentity("n1", ca, key_bits=256)
+        identity.certificate.node_id = "mallory"
+        with pytest.raises(AuthenticationError):
+            ca.verify(identity.certificate)
+
+    def test_identity_sign_verify_counted(self):
+        ca = CertificateAuthority(key_bits=256, seed=9)
+        identity = NodeIdentity("n1", ca, key_bits=256)
+        sig = identity.sign(("payload", 1))
+        assert identity.verify(identity.keypair.public_only(),
+                               ("payload", 1), sig)
+        assert identity.counter.signatures == 1
+        assert identity.counter.verifications == 1
+
+
+class TestHashChain:
+    def test_genesis(self):
+        chain = HashChain()
+        assert chain.head() == GENESIS_HASH
+        assert len(chain) == 0
+
+    def test_append_changes_head(self):
+        chain = HashChain()
+        h1 = chain.append(1.0, "ins", content_digest(("x",)))
+        assert chain.head() == h1
+        assert len(chain) == 1
+
+    def test_order_sensitivity(self):
+        a, b = HashChain(), HashChain()
+        a.append(1.0, "ins", content_digest(("x",)))
+        a.append(2.0, "ins", content_digest(("y",)))
+        b.append(1.0, "ins", content_digest(("y",)))
+        b.append(2.0, "ins", content_digest(("x",)))
+        assert a.head() != b.head()
+
+    def test_hash_at_indexing(self):
+        chain = HashChain()
+        h1 = chain.append(1.0, "ins", content_digest(("x",)))
+        h2 = chain.append(2.0, "del", content_digest(("x",)))
+        assert chain.hash_at(0) == GENESIS_HASH
+        assert chain.hash_at(1) == h1
+        assert chain.hash_at(2) == h2
+
+    def test_type_field_is_committed(self):
+        a, b = HashChain(), HashChain()
+        a.append(1.0, "ins", content_digest(("x",)))
+        b.append(1.0, "del", content_digest(("x",)))
+        assert a.head() != b.head()
+
+    def test_timestamp_is_committed(self):
+        a, b = HashChain(), HashChain()
+        a.append(1.0, "ins", content_digest(("x",)))
+        b.append(2.0, "ins", content_digest(("x",)))
+        assert a.head() != b.head()
+
+
+class TestMerkle:
+    def test_empty_tree(self):
+        assert MerkleTree([]).root() == EMPTY_ROOT
+
+    def test_single_leaf_proof(self):
+        tree = MerkleTree([("t", 1)])
+        assert MerkleTree.verify_proof(("t", 1), tree.proof(0), tree.root())
+
+    def test_all_leaves_provable(self):
+        leaves = [("tuple", i) for i in range(9)]  # odd count
+        tree = MerkleTree(leaves)
+        for index, leaf in enumerate(leaves):
+            proof = tree.proof(index)
+            assert MerkleTree.verify_proof(leaf, proof, tree.root())
+
+    def test_wrong_leaf_rejected(self):
+        leaves = [("tuple", i) for i in range(8)]
+        tree = MerkleTree(leaves)
+        proof = tree.proof(3)
+        assert not MerkleTree.verify_proof(("tuple", 4), proof, tree.root())
+
+    def test_wrong_root_rejected(self):
+        leaves = [("tuple", i) for i in range(8)]
+        tree = MerkleTree(leaves)
+        other = MerkleTree(leaves + [("tuple", 99)])
+        assert not MerkleTree.verify_proof(
+            ("tuple", 3), tree.proof(3), other.root()
+        )
+
+    def test_root_depends_on_order(self):
+        a = MerkleTree([1, 2, 3])
+        b = MerkleTree([3, 2, 1])
+        assert a.root() != b.root()
+
+    def test_out_of_range_proof(self):
+        with pytest.raises(IndexError):
+            MerkleTree([1]).proof(5)

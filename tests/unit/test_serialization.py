@@ -1,0 +1,84 @@
+"""Canonical serialization: determinism, distinctness, type coverage."""
+
+import pytest
+
+from repro.model import Tup
+from repro.util.serialization import canonical_bytes, canonical_size
+
+
+class TestScalars:
+    def test_none(self):
+        assert canonical_bytes(None) == b"N"
+
+    def test_booleans_distinct_from_ints(self):
+        assert canonical_bytes(True) != canonical_bytes(1)
+        assert canonical_bytes(False) != canonical_bytes(0)
+
+    def test_int_roundtrip_stability(self):
+        assert canonical_bytes(12345) == canonical_bytes(12345)
+
+    def test_large_int(self):
+        big = 2 ** 4096 + 17
+        assert canonical_bytes(big) == canonical_bytes(big)
+        assert canonical_bytes(big) != canonical_bytes(big + 1)
+
+    def test_negative_int(self):
+        assert canonical_bytes(-5) != canonical_bytes(5)
+
+    def test_float(self):
+        assert canonical_bytes(1.5) == canonical_bytes(1.5)
+        assert canonical_bytes(1.5) != canonical_bytes(1.25)
+
+    def test_float_distinct_from_int(self):
+        assert canonical_bytes(1.0) != canonical_bytes(1)
+
+    def test_str_bytes_distinct(self):
+        assert canonical_bytes("ab") != canonical_bytes(b"ab")
+
+    def test_unicode(self):
+        assert canonical_bytes("τ@n") == canonical_bytes("τ@n")
+
+
+class TestContainers:
+    def test_tuple_vs_list_distinct(self):
+        assert canonical_bytes((1, 2)) != canonical_bytes([1, 2])
+
+    def test_nesting_unambiguous(self):
+        # ((1,2),3) must differ from (1,(2,3)) and from (1,2,3).
+        a = canonical_bytes(((1, 2), 3))
+        b = canonical_bytes((1, (2, 3)))
+        c = canonical_bytes((1, 2, 3))
+        assert len({a, b, c}) == 3
+
+    def test_dict_key_order_irrelevant(self):
+        assert canonical_bytes({"a": 1, "b": 2}) == \
+            canonical_bytes({"b": 2, "a": 1})
+
+    def test_dict_distinct_values(self):
+        assert canonical_bytes({"a": 1}) != canonical_bytes({"a": 2})
+
+    def test_frozenset_order_irrelevant(self):
+        assert canonical_bytes(frozenset([1, 2, 3])) == \
+            canonical_bytes(frozenset([3, 1, 2]))
+
+    def test_empty_containers_distinct(self):
+        values = [(), [], {}, frozenset()]
+        encodings = {canonical_bytes(v) for v in values}
+        assert len(encodings) == 4
+
+
+class TestObjects:
+    def test_tup_canonical_protocol(self):
+        t = Tup("link", "a", "b", 3)
+        assert canonical_bytes(t) == canonical_bytes(t.canonical())
+
+    def test_tup_loc_matters(self):
+        assert canonical_bytes(Tup("r", "a", 1)) != \
+            canonical_bytes(Tup("r", "b", 1))
+
+    def test_unencodable_raises(self):
+        with pytest.raises(TypeError):
+            canonical_bytes(object())
+
+    def test_canonical_size_positive(self):
+        assert canonical_size(("x", 1, 2.0)) > 0
