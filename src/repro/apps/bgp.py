@@ -40,9 +40,8 @@ Scenario builders reproduce the two Section 7.2 queries:
 """
 
 from repro.datalog import (
-    Var, Atom, Rule, MaybeRule, Program, DatalogApp, choice_tuple,
+    Var, Atom, Guard, Rule, MaybeRule, Program, DatalogApp, choice_tuple,
 )
-from repro.datalog.engine import Program
 from repro.model import Tup, Der, Und
 
 CUSTOMER = "customer"
@@ -66,15 +65,18 @@ def bgp_proxy_program():
         "M0",
         head=Atom("route", X, Pfx, P),
         body=[Atom("originate", X, Pfx)],
-        guards=[lambda b: b["P"] == (b["X"],)],
+        guards=[Guard(lambda b: b["P"] == (b["X"],), vars=(P, X),
+                      label="P==(X,)")],
     )
     m1 = MaybeRule(
         "M1",
         head=Atom("route", X, Pfx, P),
         body=[Atom("announce", X, Pfx, Path, From)],
         guards=[
-            lambda b: b["P"] == (b["X"],) + b["Path"],
-            lambda b: b["X"] not in b["Path"],
+            Guard(lambda b: b["P"] == (b["X"],) + b["Path"],
+                  vars=(P, X, Path), label="P==(X,)+Path"),
+            Guard(lambda b: b["X"] not in b["Path"], vars=(X, Path),
+                  label="X not in Path"),
         ],
     )
     m2 = MaybeRule(

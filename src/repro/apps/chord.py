@@ -27,7 +27,9 @@ and fabricated ``lookupResult`` messages via
 :class:`repro.snp.adversary.FabricatorNode` (detected: red send vertex).
 """
 
-from repro.datalog import Var, Expr, Atom, Rule, AggregateRule, Program, DatalogApp
+from repro.datalog import (
+    Var, Expr, Atom, Guard, Rule, AggregateRule, Program, DatalogApp,
+)
 from repro.model import Tup
 
 
@@ -65,7 +67,8 @@ def chord_program(ring_bits=16):
         "SC",
         head=Atom("succCand", N, M, MId, Expr(dist, "dist(Id,MId)")),
         body=[Atom("knownNode", N, M, MId), Atom("node", N, Id)],
-        guards=[lambda b: b["M"] != b["N"]],
+        guards=[Guard(lambda b: b["M"] != b["N"], vars=(M, N),
+                      label="M!=N")],
     )
     succ_dist = AggregateRule(
         "SD",
@@ -85,7 +88,8 @@ def chord_program(ring_bits=16):
         head=Atom("predCand", N, M, MId,
                   Expr(lambda b: (b["Id"] - b["MId"]) % size, "dist(MId,Id)")),
         body=[Atom("knownNode", N, M, MId), Atom("node", N, Id)],
-        guards=[lambda b: b["M"] != b["N"]],
+        guards=[Guard(lambda b: b["M"] != b["N"], vars=(M, N),
+                      label="M!=N")],
     )
     pred_dist = AggregateRule(
         "PD",
@@ -108,7 +112,8 @@ def chord_program(ring_bits=16):
                        "dist(Id+Off,MId)")),
         body=[Atom("fingerIndex", N, J, Off), Atom("knownNode", N, M, MId),
               Atom("node", N, Id)],
-        guards=[lambda b: b["M"] != b["N"]],
+        guards=[Guard(lambda b: b["M"] != b["N"], vars=(M, N),
+                      label="M!=N")],
     )
     finger_dist = AggregateRule(
         "FD",
@@ -140,13 +145,15 @@ def chord_program(ring_bits=16):
         "G2",
         head=Atom("shareNode", P, M, MId),
         body=[Atom("gossipPeer", N, P), Atom("knownNode", N, M, MId)],
-        guards=[lambda b: b["M"] != b["P"]],
+        guards=[Guard(lambda b: b["M"] != b["P"], vars=(M, P),
+                      label="M!=P")],
     )
     learn = Rule(
         "G4",
         head=Atom("knownNode", N, M, MId),
         body=[Atom("shareNode", N, M, MId)],
-        guards=[lambda b: b["M"] != b["N"]],
+        guards=[Guard(lambda b: b["M"] != b["N"], vars=(M, N),
+                      label="M!=N")],
     )
 
     # --- lookups -----------------------------------------------------------------
@@ -160,8 +167,9 @@ def chord_program(ring_bits=16):
         head=Atom("lookupResult", R, Q, K, S, SId),
         body=[Atom("lookup", N, K, R, Q), Atom("node", N, Id),
               Atom("succ", N, S, SId)],
-        guards=[lambda b: in_halfopen_arc(b["K"], b["Id"], b["SId"],
-                                          ring_bits)],
+        guards=[Guard(lambda b: in_halfopen_arc(b["K"], b["Id"], b["SId"],
+                                                ring_bits),
+                      vars=(K, Id, SId), label="K in (Id,SId]")],
     )
     hop_cand = Rule(
         "L2",
@@ -170,12 +178,14 @@ def chord_program(ring_bits=16):
         body=[Atom("lookup", N, K, R, Q), Atom("node", N, Id),
               Atom("succ", N, S, SId), Atom("knownNode", N, M, MId)],
         guards=[
-            lambda b: not in_halfopen_arc(b["K"], b["Id"], b["SId"],
-                                          ring_bits),
-            lambda b: b["M"] != b["N"],
+            Guard(lambda b: not in_halfopen_arc(b["K"], b["Id"], b["SId"],
+                                                ring_bits),
+                  vars=(K, Id, SId), label="K not in (Id,SId]"),
+            Guard(lambda b: b["M"] != b["N"], vars=(M, N), label="M!=N"),
             # Strict progress toward the key guarantees termination.
-            lambda b: ((b["K"] - b["MId"]) % size)
-                      < ((b["K"] - b["Id"]) % size),
+            Guard(lambda b: ((b["K"] - b["MId"]) % size)
+                            < ((b["K"] - b["Id"]) % size),
+                  vars=(K, MId, Id), label="closer(M,K)"),
         ],
     )
     hop_best = AggregateRule(

@@ -16,7 +16,9 @@ A ``max_cost`` guard bounds derivations (the paper requires all derivations
 to be finite; without the bound, link deletions could count to infinity).
 """
 
-from repro.datalog import Var, Expr, Atom, Rule, AggregateRule, Program, DatalogApp
+from repro.datalog import (
+    Var, Expr, Atom, Guard, Rule, AggregateRule, Program, DatalogApp,
+)
 from repro.model import Tup
 
 #: The link costs of the example network in Section 3.3's figure.
@@ -47,8 +49,9 @@ def mincost_program(max_cost=255):
                   Expr(lambda b: b["K1"] + b["K2"], "K1+K2")),
         body=[Atom("link", X, C, K1), Atom("bestCost", X, D, K2)],
         guards=[
-            lambda b: b["C"] != b["D"],
-            lambda b: b["K1"] + b["K2"] <= max_cost,
+            Guard(lambda b: b["C"] != b["D"], vars=(C, D), label="C!=D"),
+            Guard(lambda b: b["K1"] + b["K2"] <= max_cost,
+                  vars=(K1, K2), label="K1+K2<=max"),
         ],
     )
     r3 = AggregateRule(

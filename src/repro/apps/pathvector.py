@@ -14,7 +14,9 @@ Rules:
   ties broken lexicographically.
 """
 
-from repro.datalog import Var, Expr, Atom, Rule, AggregateRule, Program, DatalogApp
+from repro.datalog import (
+    Var, Expr, Atom, Guard, Rule, AggregateRule, Program, DatalogApp,
+)
 from repro.model import Tup
 
 
@@ -31,9 +33,11 @@ def pathvector_program(max_path_len=16):
                   Expr(lambda b: (b["Y"],) + b["P"], "(Y,)+P")),
         body=[Atom("link", X, Y), Atom("bestRoute", X, D, P)],
         guards=[
-            lambda b: b["Y"] not in b["P"],
-            lambda b: len(b["P"]) < max_path_len,
-            lambda b: b["Y"] != b["D"],
+            Guard(lambda b: b["Y"] not in b["P"], vars=(Y, P),
+                  label="Y not in P"),
+            Guard(lambda b: len(b["P"]) < max_path_len, vars=(P,),
+                  label="len(P)<max"),
+            Guard(lambda b: b["Y"] != b["D"], vars=(Y, D), label="Y!=D"),
         ],
     )
     p3 = AggregateRule(

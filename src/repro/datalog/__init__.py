@@ -7,10 +7,17 @@ The paper's primary systems are modeled as tuples plus derivation rules
   expressions, aggregate and ``maybe`` rules);
 * :mod:`repro.datalog.store` — per-node tuple storage with derivation
   refcounts and believed remote tuples;
+* :mod:`repro.datalog.plan` — the rule compiler: at ``Program.add`` time
+  every rule becomes an indexed :class:`~repro.datalog.plan.JoinPlan`
+  (deterministic body ordering per trigger position, precomputed index
+  keys, earliest-step guard schedule);
 * :mod:`repro.datalog.engine` — :class:`DatalogApp`, a deterministic
   :class:`repro.model.StateMachine` that incrementally maintains derivations
-  and emits ``+τ/−τ`` notifications for rules whose head lives on another
-  node.
+  by executing the compiled plans over the store's secondary indexes and
+  emits ``+τ/−τ`` notifications for rules whose head lives on another
+  node;
+* :mod:`repro.datalog.naive` — :class:`NaiveDatalogApp`, the scan-based
+  reference evaluator the indexed engine is property-tested against.
 
 Rules follow the standard declarative-networking localization convention:
 every body atom of a rule shares one location term, which is bound to the
@@ -20,17 +27,22 @@ structure of Figure 2 in the paper, where node b derives ``cost(@c,d,b,5)``
 and sends it to c).
 """
 
-from repro.datalog.ast import Var, Expr, Atom, Rule, AggregateRule, MaybeRule, choice_tuple
+from repro.datalog.ast import (
+    Var, Expr, Atom, Guard, Rule, AggregateRule, MaybeRule, choice_tuple,
+)
 from repro.datalog.engine import DatalogApp, Program
+from repro.datalog.naive import NaiveDatalogApp
 
 __all__ = [
     "Var",
     "Expr",
     "Atom",
+    "Guard",
     "Rule",
     "AggregateRule",
     "MaybeRule",
     "choice_tuple",
     "DatalogApp",
+    "NaiveDatalogApp",
     "Program",
 ]

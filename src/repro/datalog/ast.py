@@ -44,19 +44,65 @@ class Expr:
     ``Expr(lambda b: b["K1"] + b["K2"], "K1+K2")`` — the label is only used
     for display. Expressions must be deterministic and side-effect free
     (assumption 6 in the paper: node computation is deterministic).
+    *vars* optionally declares the variables the function reads (the text
+    parser fills it in so comparison guards over expressions can be
+    scheduled early; None = unknown).
     """
 
-    __slots__ = ("fn", "label")
+    __slots__ = ("fn", "label", "vars")
 
-    def __init__(self, fn, label="<expr>"):
+    def __init__(self, fn, label="<expr>", vars=None):
         self.fn = fn
         self.label = label
+        self.vars = None if vars is None else tuple(
+            v.name if isinstance(v, Var) else v for v in vars
+        )
 
     def __repr__(self):
         return self.label
 
     def evaluate(self, bindings):
         return self.fn(bindings)
+
+
+class Guard:
+    """A guard predicate with declared variable dependencies.
+
+    ``Guard(lambda b: b["C"] != b["D"], vars=("C", "D"))`` — *vars* names
+    every binding the predicate reads, which lets the plan compiler fire
+    the guard at the earliest join step where those variables are bound
+    (pruning partial matches instead of full cross products). The
+    predicate must be pure and deterministic, and must not read bindings
+    outside *vars*. ``vars=None`` (and any plain callable used as a guard)
+    means the read set is unknown, so the guard only runs once the body is
+    fully bound.
+    """
+
+    __slots__ = ("fn", "vars", "label")
+
+    def __init__(self, fn, vars=None, label="<guard>"):
+        self.fn = fn
+        self.vars = None if vars is None else tuple(
+            v.name if isinstance(v, Var) else v for v in vars
+        )
+        self.label = label
+
+    def __call__(self, bindings):
+        return self.fn(bindings)
+
+    def __repr__(self):
+        shown = "?" if self.vars is None else ", ".join(self.vars)
+        return f"Guard({self.label}: {shown})"
+
+
+def guard_vars(guard):
+    """Declared variable names of *guard*, or None when unknown.
+
+    None means the guard is an opaque callable (or an undeclared Guard)
+    that may read any binding, so it can only be scheduled after the body
+    is fully bound.
+    """
+    return guard.vars if isinstance(guard, Guard) else None
 
 
 class Atom:

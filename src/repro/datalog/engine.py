@@ -17,22 +17,36 @@
 Multiple simultaneous derivations of one tuple are tracked with reference
 counts; the reported provenance is the first surviving derivation (the
 unique-derivation simplification of Appendix A.1, see DESIGN.md).
+
+Evaluation is compile-then-execute: :class:`Program` compiles every rule
+into an indexed join plan (:mod:`repro.datalog.plan`) and the cascade
+executes those plans against the store's secondary hash indexes, so a
+triggering tuple touches only the tuples that can actually join with it.
+The scan-based strategy survives as :class:`repro.datalog.naive.
+NaiveDatalogApp`, the reference both implementations are property-tested
+against.
 """
 
 from collections import deque
 
 from repro.datalog.ast import Var, Rule, AggregateRule, MaybeRule
+from repro.datalog.plan import compile_rule
 from repro.datalog.store import TupleStore, DerivationInstance
 from repro.model import Ack, Der, Snd, StateMachine, Und, MINUS, PLUS
 from repro.util.errors import ConfigurationError
-from repro.util.serialization import canonical_bytes
 
 
 class Program:
-    """An ordered collection of rules, indexed by body relation."""
+    """An ordered collection of rules, indexed by body relation.
+
+    Every rule is compiled at :meth:`add` time into an indexed join plan
+    (:mod:`repro.datalog.plan`); ``plans[i]`` is the compiled form of
+    ``rules[i]``.
+    """
 
     def __init__(self, rules=()):
         self.rules = []
+        self.plans = []
         self._by_body_relation = {}
         for rule in rules:
             self.add(rule)
@@ -42,6 +56,7 @@ class Program:
             raise ConfigurationError(f"not a rule: {rule!r}")
         index = len(self.rules)
         self.rules.append(rule)
+        self.plans.append(compile_rule(rule))
         for pos, atom in enumerate(rule.body):
             self._by_body_relation.setdefault(atom.relation, []).append(
                 (index, rule, pos)
@@ -51,6 +66,13 @@ class Program:
     def triggers_for(self, relation):
         """(rule_index, rule, body_position) triples whose body uses *relation*."""
         return self._by_body_relation.get(relation, ())
+
+    def index_requirements(self):
+        """All (relation, positions) secondary indexes the plans need."""
+        requirements = set()
+        for plan in self.plans:
+            requirements |= plan.index_requirements()
+        return requirements
 
 
 def _seed_bindings(rule, node_id):
@@ -66,10 +88,17 @@ def _seed_bindings(rule, node_id):
 class DatalogApp(StateMachine):
     """A deterministic Datalog state machine for one node."""
 
+    #: Subclasses (the naive reference evaluator) set this False to skip
+    #: secondary-index registration and maintenance.
+    USE_INDEXES = True
+
     def __init__(self, node_id, program):
         super().__init__(node_id)
         self.program = program
         self.store = TupleStore(node_id)
+        if self.USE_INDEXES:
+            for relation, positions in program.index_requirements():
+                self.store.register_index(relation, positions)
         # (rule_index, group_key) -> (head_tup, support) for aggregate heads
         self._agg_current = {}
 
@@ -160,9 +189,8 @@ class DatalogApp(StateMachine):
             bound = rule.body[pos].match(tup, seed)
             if bound is None:
                 continue
-            for bindings, support in self._join(rule, pos, bound, tup):
-                if not all(guard(bindings) for guard in rule.guards):
-                    continue
+            for bindings, support in self._matches_from(rule_index, rule,
+                                                        pos, bound, tup):
                 head = rule.head.instantiate(bindings)
                 instance = DerivationInstance(rule.name, support)
                 is_new, appeared = self.store.add_derivation(head, instance, t)
@@ -171,36 +199,53 @@ class DatalogApp(StateMachine):
                         ("appear", head, (rule.name, support, None))
                     )
 
-    def _join(self, rule, fixed_pos, bindings, fixed_tup):
-        """Enumerate full body matches with position *fixed_pos* pinned.
+    def _matches_from(self, rule_index, rule, pos, bound, tup):
+        """Full, guard-passing body matches with position *pos* pinned.
 
-        Yields (bindings, support) pairs in canonical deterministic order;
-        *support* lists the matched ground tuple per body atom, in body
-        order.
+        Executes the rule's compiled :class:`~repro.datalog.plan.JoinPlan`
+        for trigger position *pos*: each step probes one body atom through
+        a secondary hash index keyed by the values already bound, and
+        scheduled guards prune partial matches as early as their variables
+        allow. Returns (bindings, support) pairs — *support* lists the
+        matched ground tuple per body atom, in body order — sorted into
+        the same canonical order the interpretive scan produced, which is
+        what keeps replay byte-identical (DESIGN.md).
         """
+        plan = self.program.plans[rule_index].joins[pos]
+        for guard in plan.pre_guards:
+            if not guard(bound):
+                return ()
         results = []
+        chosen = [None] * len(rule.body)
+        chosen[pos] = tup
+        store = self.store
 
-        def recurse(pos, current, support):
-            if pos == len(rule.body):
-                results.append((current, tuple(support)))
+        def run(step_index, bindings):
+            if step_index == len(plan.steps):
+                results.append((bindings, tuple(chosen)))
                 return
-            if pos == fixed_pos:
-                support.append(fixed_tup)
-                recurse(pos + 1, current, support)
-                support.pop()
-                return
-            atom = rule.body[pos]
-            for candidate in self.store.visible(atom.relation):
-                extended = atom.match(candidate, current)
-                if extended is not None:
-                    support.append(candidate)
-                    recurse(pos + 1, extended, support)
-                    support.pop()
+            step = plan.steps[step_index]
+            if step.index_positions:
+                candidates = store.index_lookup(
+                    step.atom.relation, step.index_positions,
+                    step.key(bindings),
+                )
+            else:
+                candidates = store.visible_set(step.atom.relation)
+            for candidate in candidates:
+                extended = step.atom.match(candidate, bindings)
+                if extended is None:
+                    continue
+                if not all(guard(extended) for guard in step.guards):
+                    continue
+                chosen[step.body_pos] = candidate
+                run(step_index + 1, extended)
+                chosen[step.body_pos] = None
 
-        recurse(0, bindings, [])
-        results.sort(key=lambda pair: canonical_bytes(
-            tuple(s.canonical() for s in pair[1])
-        ))
+        run(0, bound)
+        results.sort(
+            key=lambda pair: tuple(s.canonical_key() for s in pair[1])
+        )
         return results
 
     # -- disappearance: retract dependent derivations -------------------------
@@ -229,15 +274,48 @@ class DatalogApp(StateMachine):
         if bindings is None:
             return
         if not all(guard(bindings) for guard in rule.guards):
-            # The guard may reference the agg var; group membership is
-            # re-derived during recompute anyway, so only skip when the
-            # guard is clearly binding-independent. Conservatively mark.
-            pass
+            # An aggregate body is a single atom, so these bindings are
+            # complete: a guard rejecting them means the tuple was never a
+            # group member, and its change cannot move any group's value.
+            return
         group_key = tuple(bindings.get(v.name) for v in rule.group_vars)
         key = (rule_index, group_key)
-        if key not in dirty_seen:
-            dirty_seen.add(key)
-            dirty_groups.append(key)
+        if key in dirty_seen:
+            return
+        if rule.func in ("min", "max") and self._agg_unaffected(
+            rule_index, rule, key, tup, bindings
+        ):
+            return
+        dirty_seen.add(key)
+        dirty_groups.append(key)
+
+    def _agg_unaffected(self, rule_index, rule, key, tup, bindings):
+        """True when a min/max group provably cannot change.
+
+        A candidate strictly *worse* than the stored optimum — in the full
+        deterministic ordering (value key, then canonical tie-break) — can
+        neither beat the current witness on appear nor *be* the witness on
+        disappear, so the recompute would be a no-op. Ties and improvements
+        always recompute (a tie may silently re-support the head with a
+        different witness, exactly as a full recompute would). Only valid
+        while the group is clean: callers check ``dirty_seen`` first, and a
+        dirty group keeps its pending recompute regardless.
+        """
+        stored = self._agg_current.get(key)
+        if stored is None:
+            return False
+        head, support = stored
+        plan = self.program.plans[rule_index]
+        if plan.head_agg_pos is None or not support:
+            return False
+        value_key = rule.key if rule.key is not None else (lambda v: v)
+        candidate = (value_key(bindings[rule.agg_var.name]),
+                     tup.canonical_key())
+        current = (value_key(plan.head_agg_value(head)),
+                   support[0].canonical_key())
+        if rule.func == "min":
+            return candidate > current
+        return candidate < current
 
     def _recompute_group(self, key, t, worklist):
         rule_index, group_key = key
@@ -247,7 +325,10 @@ class DatalogApp(StateMachine):
             return
         members = []
         atom = rule.body[0]
-        for candidate in self.store.visible(atom.relation):
+        for candidate in sorted(
+            self._group_candidates(rule_index, rule, group_key),
+            key=lambda c: c.canonical_key(),
+        ):
             bindings = atom.match(candidate, seed)
             if bindings is None:
                 continue
@@ -285,6 +366,22 @@ class DatalogApp(StateMachine):
                     ("appear", new_head, (rule.name, new_support, None))
                 )
 
+    def _group_candidates(self, rule_index, rule, group_key):
+        """Candidate member tuples of one aggregate group (unordered).
+
+        Probes the per-(rule, group-key) membership index — group members
+        share the group variables' values at fixed body-atom positions, so
+        they share one index bucket. The caller still unifies and
+        guard-checks every candidate; sorting happens there too.
+        """
+        plan = self.program.plans[rule_index]
+        if plan.group_positions:
+            return self.store.index_lookup(
+                rule.body[0].relation, plan.group_positions,
+                plan.group_index_key(group_key),
+            )
+        return self.store.visible_set(rule.body[0].relation)
+
     def _aggregate(self, rule, group_key, members):
         """Compute (head, support, bindings) for a group; head None if empty."""
         if not members:
@@ -296,7 +393,7 @@ class DatalogApp(StateMachine):
             best = chooser(
                 members,
                 key=lambda m: (value_key(m[0][var]),
-                               canonical_bytes(m[1].canonical())),
+                               m[1].canonical_key()),
             )
             bindings, witness = best
             head = rule.head.instantiate(bindings)

@@ -1,0 +1,74 @@
+"""The naive scan-based reference evaluator.
+
+:class:`NaiveDatalogApp` is the pre-plan evaluation strategy kept as an
+executable specification: every trigger re-enumerates every visible tuple
+of every body relation (guards applied only on fully bound bodies), and
+every dirty aggregate group rescans its whole relation. It must produce
+**byte-identical** outputs to the indexed :class:`~repro.datalog.engine.
+DatalogApp` — the property suite (tests/property/test_prop_plan_equiv.py)
+checks exactly that on randomized programs and event schedules, and
+``benchmarks/bench_engine.py`` uses it as the before-side of the speedup
+measurement.
+
+Do not use it in deployments; it exists to keep the optimized engine
+honest.
+"""
+
+from repro.datalog.engine import DatalogApp
+
+
+class NaiveDatalogApp(DatalogApp):
+    """Reference evaluator: interpretive scans, no secondary indexes."""
+
+    USE_INDEXES = False
+
+    def _matches_from(self, rule_index, rule, pos, bound, tup):
+        results = []
+
+        def recurse(body_pos, current, support):
+            if body_pos == len(rule.body):
+                results.append((current, tuple(support)))
+                return
+            if body_pos == pos:
+                support.append(tup)
+                recurse(body_pos + 1, current, support)
+                support.pop()
+                return
+            atom = rule.body[body_pos]
+            for candidate in self.store.visible(atom.relation):
+                extended = atom.match(candidate, current)
+                if extended is not None:
+                    support.append(candidate)
+                    recurse(body_pos + 1, extended, support)
+                    support.pop()
+
+        recurse(0, bound, [])
+        results.sort(
+            key=lambda pair: tuple(s.canonical_key() for s in pair[1])
+        )
+        return [
+            (bindings, support)
+            for bindings, support in results
+            if all(guard(bindings) for guard in rule.guards)
+        ]
+
+    def _group_candidates(self, rule_index, rule, group_key):
+        return self.store.visible_set(rule.body[0].relation)
+
+    def _mark_dirty(self, rule_index, rule, tup, dirty_groups, dirty_seen):
+        # Seed semantics: mark unconditionally (no guard filtering, no
+        # min/max short-circuit). Recompute re-derives membership anyway,
+        # so the indexed engine's skips must never change outputs — which
+        # is precisely what comparing against this version checks.
+        from repro.datalog.engine import _seed_bindings
+        seed = _seed_bindings(rule, self.node_id)
+        if seed is None:
+            return
+        bindings = rule.body[0].match(tup, seed)
+        if bindings is None:
+            return
+        group_key = tuple(bindings.get(v.name) for v in rule.group_vars)
+        key = (rule_index, group_key)
+        if key not in dirty_seen:
+            dirty_seen.add(key)
+            dirty_groups.append(key)

@@ -26,7 +26,7 @@ Syntax:
 import re
 
 from repro.datalog.ast import (
-    AggregateRule, Atom, Expr, MaybeRule, Rule, Var,
+    AggregateRule, Atom, Expr, Guard, MaybeRule, Rule, Var,
 )
 from repro.datalog.engine import Program
 from repro.util.errors import ConfigurationError
@@ -198,6 +198,9 @@ def _compile_expression(parts):
     label = "".join(
         part if isinstance(part, str) else repr(part) for part in parts
     )
+    var_names = tuple(
+        part.name for part in parts if isinstance(part, Var)
+    )
 
     def evaluate(bindings):
         accumulator = _value_of(parts[0], bindings)
@@ -216,7 +219,16 @@ def _compile_expression(parts):
             index += 2
         return accumulator
 
-    return Expr(evaluate, label)
+    return Expr(evaluate, label, vars=var_names)
+
+
+def _term_vars(term):
+    """Variable names a comparison side reads (None when unknown)."""
+    if isinstance(term, Var):
+        return (term.name,)
+    if isinstance(term, Expr):
+        return term.vars
+    return ()
 
 
 def _compile_guard(left, op, right):
@@ -229,7 +241,13 @@ def _compile_guard(left, op, right):
     def guard(bindings):
         return fn(_value_of(left, bindings), _value_of(right, bindings))
 
-    return guard
+    left_vars = _term_vars(left)
+    right_vars = _term_vars(right)
+    declared = (
+        None if left_vars is None or right_vars is None
+        else left_vars + right_vars
+    )
+    return Guard(guard, vars=declared, label=f"{left!r}{op}{right!r}")
 
 
 def parse_rules(text):

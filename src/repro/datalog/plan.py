@@ -1,0 +1,281 @@
+"""Rule compilation: from declarative rules to indexed join plans.
+
+The engine used to evaluate rules interpretively — every appearing tuple
+re-enumerated every visible tuple of every body relation. This module
+compiles each rule *once*, at :meth:`Program.add` time, into the static
+schedule that evaluation follows:
+
+* a :class:`JoinPlan` per trigger position — when a tuple of body atom
+  *k*'s relation appears, the plan for trigger *k* orders the remaining
+  body atoms greedily (most-bound-first) and precomputes, for every join
+  step, the **index key**: the tuple of argument positions whose values
+  are already known when the step runs (constants in the pattern plus
+  variables bound by earlier steps). At runtime the step is a hash lookup
+  on the corresponding :class:`~repro.datalog.store.TupleStore` secondary
+  index instead of a relation scan;
+* a **guard schedule**: each :class:`~repro.datalog.ast.Guard` with
+  declared variables fires at the earliest step where its variables are
+  bound, pruning partial matches; opaque callables fire after the body is
+  fully bound (exactly the old semantics);
+* for aggregate rules, an :class:`AggPlan` giving the positions of the
+  group variables inside the single body atom, so a dirty group's members
+  come from one index bucket rather than a scan of the whole relation.
+
+Plans only *accelerate* evaluation; they never change results. Every
+candidate from an index is still unified via ``atom.match`` (which
+re-checks constants, repeated variables and cross-atom equality), and the
+engine sorts full matches into the same canonical order the interpretive
+scan produced, so the determinism contract (DESIGN.md) is untouched.
+
+Positions are 0-based over ``(loc,) + terms``: position 0 is the ``@``
+location, position *i* ≥ 1 is ``terms[i-1]``.
+"""
+
+from repro.datalog.ast import (
+    AggregateRule, Expr, Var, guard_vars,
+)
+
+
+def atom_arity(atom):
+    return 1 + len(atom.terms)
+
+
+def term_at(atom, position):
+    return atom.loc if position == 0 else atom.terms[position - 1]
+
+
+def atom_var_names(atom):
+    """The variable names an atom binds when matched."""
+    return {
+        term.name
+        for term in (atom.loc,) + atom.terms
+        if isinstance(term, Var)
+    }
+
+
+class JoinStep:
+    """One join step: probe *atom* through an index and extend bindings.
+
+    ``index_positions`` is the sorted tuple of positions whose values are
+    known when the step runs (the store index spec); ``key_parts`` is the
+    aligned recipe for the runtime key — ``(True, var_name)`` reads a
+    binding, ``(False, constant)`` is a literal. ``guards`` fire on each
+    successful match of this step (their variables are all bound here and
+    not earlier).
+    """
+
+    __slots__ = ("body_pos", "atom", "index_positions", "key_parts", "guards")
+
+    def __init__(self, body_pos, atom, index_positions, key_parts, guards):
+        self.body_pos = body_pos
+        self.atom = atom
+        self.index_positions = index_positions
+        self.key_parts = key_parts
+        self.guards = guards
+
+    def key(self, bindings):
+        return tuple(
+            bindings[value] if is_var else value
+            for is_var, value in self.key_parts
+        )
+
+    def __repr__(self):
+        return (
+            f"JoinStep(pos={self.body_pos}, {self.atom!r}, "
+            f"index={self.index_positions})"
+        )
+
+
+class JoinPlan:
+    """The evaluation schedule for one rule triggered at one body position."""
+
+    __slots__ = ("rule", "trigger_pos", "pre_guards", "steps")
+
+    def __init__(self, rule, trigger_pos, pre_guards, steps):
+        self.rule = rule
+        self.trigger_pos = trigger_pos
+        self.pre_guards = pre_guards
+        self.steps = steps
+
+    def __repr__(self):
+        return (
+            f"JoinPlan({self.rule.name}@{self.trigger_pos}: "
+            f"{list(self.steps)!r})"
+        )
+
+
+def _bound_positions(atom, bound_names):
+    """Positions of *atom* whose value is known given *bound_names*."""
+    positions = []
+    for position in range(atom_arity(atom)):
+        term = term_at(atom, position)
+        if isinstance(term, Var):
+            if term.name in bound_names:
+                positions.append(position)
+        elif not isinstance(term, Expr):
+            positions.append(position)  # a constant in the pattern
+    return tuple(positions)
+
+
+def _key_parts(atom, positions):
+    parts = []
+    for position in positions:
+        term = term_at(atom, position)
+        if isinstance(term, Var):
+            parts.append((True, term.name))
+        else:
+            parts.append((False, term))
+    return tuple(parts)
+
+
+def _compile_join(rule, trigger_pos):
+    bound = set()
+    if isinstance(rule.body_loc, Var):
+        bound.add(rule.body_loc.name)  # seeded with the node id at runtime
+    bound |= atom_var_names(rule.body[trigger_pos])
+
+    pending = [(guard, guard_vars(guard)) for guard in rule.guards]
+
+    def ready_guards():
+        fired = []
+        remaining = []
+        for guard, names in pending:
+            if names is not None and set(names) <= bound:
+                fired.append(guard)
+            else:
+                remaining.append((guard, names))
+        pending[:] = remaining
+        return tuple(fired)
+
+    pre_guards = ready_guards()
+    steps = []
+    remaining_atoms = [
+        pos for pos in range(len(rule.body)) if pos != trigger_pos
+    ]
+    while remaining_atoms:
+        # Greedy most-bound-first ordering: the atom with the most known
+        # positions gets the most selective index; ties keep body order.
+        best = max(
+            remaining_atoms,
+            key=lambda pos: (len(_bound_positions(rule.body[pos], bound)),
+                             -pos),
+        )
+        remaining_atoms.remove(best)
+        atom = rule.body[best]
+        positions = _bound_positions(atom, bound)
+        bound |= atom_var_names(atom)
+        steps.append(JoinStep(
+            body_pos=best,
+            atom=atom,
+            index_positions=positions,
+            key_parts=_key_parts(atom, positions),
+            guards=ready_guards(),
+        ))
+
+    # Opaque guards (and any whose variables never all bind — only possible
+    # for a guard over head-expression inputs, which the old engine would
+    # have KeyError'd on too) run after the final step, on full bindings.
+    leftovers = tuple(guard for guard, _names in pending)
+    if leftovers:
+        if steps:
+            last = steps[-1]
+            steps[-1] = JoinStep(
+                last.body_pos, last.atom, last.index_positions,
+                last.key_parts, last.guards + leftovers,
+            )
+        else:
+            pre_guards = pre_guards + leftovers
+    return JoinPlan(rule, trigger_pos, pre_guards, tuple(steps))
+
+
+class RulePlan:
+    """Compiled form of an ordinary (or maybe) rule: one JoinPlan per
+    trigger position."""
+
+    kind = "join"
+
+    __slots__ = ("rule", "joins")
+
+    def __init__(self, rule):
+        self.rule = rule
+        self.joins = tuple(
+            _compile_join(rule, pos) for pos in range(len(rule.body))
+        )
+
+    def index_requirements(self):
+        requirements = set()
+        for join in self.joins:
+            for step in join.steps:
+                if step.index_positions:
+                    requirements.add(
+                        (step.atom.relation, step.index_positions)
+                    )
+        return requirements
+
+
+class AggPlan:
+    """Compiled form of an aggregate rule: the group membership index.
+
+    ``group_positions`` is the sorted tuple of positions (in the single
+    body atom) where the rule's group variables first occur;
+    ``group_perm`` maps those positions back to the group-key order
+    (``rule.group_vars``), so a dirty group's index key is a permutation
+    of its group key. ``group_positions`` is empty when there is nothing
+    to index (no group variables, or a group variable that does not occur
+    in the body atom — then recompute falls back to scanning the
+    relation, which is also the only correct option).
+    """
+
+    kind = "aggregate"
+
+    __slots__ = ("rule", "group_positions", "group_perm", "head_agg_pos")
+
+    def __init__(self, rule):
+        self.rule = rule
+        # Where the aggregate value lands in the head tuple — lets the
+        # engine read a group's current value back off its head instead of
+        # storing it separately (min/max short-circuit in _mark_dirty).
+        self.head_agg_pos = None
+        for position in range(atom_arity(rule.head)):
+            term = term_at(rule.head, position)
+            if isinstance(term, Var) and term.name == rule.agg_var.name:
+                self.head_agg_pos = position
+                break
+        atom = rule.body[0]
+        first_position = {}
+        for position in range(atom_arity(atom)):
+            term = term_at(atom, position)
+            if isinstance(term, Var) and term.name not in first_position:
+                first_position[term.name] = position
+        pairs = []
+        for group_index, var in enumerate(rule.group_vars):
+            position = first_position.get(var.name)
+            if position is None:
+                pairs = []
+                break
+            pairs.append((position, group_index))
+        pairs.sort()
+        self.group_positions = tuple(position for position, _gi in pairs)
+        self.group_perm = tuple(group_index for _pos, group_index in pairs)
+
+    def group_index_key(self, group_key):
+        """The store-index key for *group_key* (ordered by group_vars)."""
+        return tuple(group_key[gi] for gi in self.group_perm)
+
+    def head_agg_value(self, head_tup):
+        """The aggregate value carried by a ground head tuple."""
+        if self.head_agg_pos == 0:
+            return head_tup.loc
+        return head_tup.args[self.head_agg_pos - 1]
+
+    def index_requirements(self):
+        if not self.group_positions:
+            return set()
+        return {(self.rule.body[0].relation, self.group_positions)}
+
+
+def compile_rule(rule):
+    """Compile *rule* into its plan (RulePlan or AggPlan)."""
+    if isinstance(rule, AggregateRule):
+        return AggPlan(rule)
+    return RulePlan(rule)

@@ -16,6 +16,14 @@ A tuple participates in rule matching on this node iff it is *visible*:
 present (locally or as a belief) and located here (``loc == node``). A
 locally derived tuple whose head is remote exists here but is matchable only
 at the remote node once believed there.
+
+Compiled join plans (:mod:`repro.datalog.plan`) register **secondary hash
+indexes** here: per ``(relation, bound-positions)`` maps from a key (the
+tuple's values at those positions) to the set of visible tuples carrying
+that key. Indexes are maintained incrementally on every appear/disappear
+and rebuilt wholesale on :meth:`TupleStore.restore`; they are pure derived
+state and never snapshotted. Position 0 is the location argument,
+position *i* ≥ 1 is ``args[i-1]``.
 """
 
 from repro.util.serialization import canonical_bytes
@@ -55,6 +63,8 @@ class TupleStore:
         self._visible = {}           # relation -> set of visible tups
         self._appeared_at = {}       # tup -> local time it became present
         self._believe_peer = {}      # tup -> peer whose notification created belief
+        self._indexes = {}           # (relation, positions) -> {key: set of tups}
+        self._rel_indexes = {}       # relation -> [(positions, buckets)]
 
     # -- presence ----------------------------------------------------------
 
@@ -133,7 +143,8 @@ class TupleStore:
         entries = self._by_support.pop(support_tup, set())
         results = []
         for head, key in sorted(
-            entries, key=lambda e: canonical_bytes((e[0].canonical(), e[1][0]))
+            entries,
+            key=lambda e: (e[0].canonical_key(), canonical_bytes(e[1][0])),
         ):
             instances = self._derivations.get(head)
             if not instances or key not in instances:
@@ -206,12 +217,72 @@ class TupleStore:
     def visible(self, relation):
         """Visible tuples of *relation* in deterministic order."""
         tups = self._visible.get(relation, ())
-        return sorted(tups, key=lambda t: canonical_bytes(t.canonical()))
+        return sorted(tups, key=lambda t: t.canonical_key())
+
+    def visible_set(self, relation):
+        """Visible tuples of *relation* as an unordered set (no copy).
+
+        Callers that need determinism must sort; plan execution does, once,
+        over full matches.
+        """
+        return self._visible.get(relation, ())
+
+    # -- secondary indexes ---------------------------------------------------
+
+    @staticmethod
+    def _project(tup, positions):
+        """The tuple's index key for *positions*, or None when its arity is
+        too small to have those positions (such a tuple can never match the
+        registering pattern)."""
+        values = []
+        for position in positions:
+            if position == 0:
+                values.append(tup.loc)
+            elif position <= len(tup.args):
+                values.append(tup.args[position - 1])
+            else:
+                return None
+        return tuple(values)
+
+    def register_index(self, relation, positions):
+        """Ensure a secondary index on *(relation, positions)* exists,
+        backfilled from the currently visible tuples. Idempotent."""
+        positions = tuple(positions)
+        spec = (relation, positions)
+        if spec in self._indexes:
+            return
+        buckets = {}
+        self._indexes[spec] = buckets
+        self._rel_indexes.setdefault(relation, []).append(
+            (positions, buckets)
+        )
+        self._backfill(buckets, relation, positions)
+
+    def _backfill(self, buckets, relation, positions):
+        """Populate an index's *buckets* from the current visible set."""
+        for tup in self._visible.get(relation, ()):
+            key = self._project(tup, positions)
+            if key is not None:
+                buckets.setdefault(key, set()).add(tup)
+
+    def index_lookup(self, relation, positions, key):
+        """Visible tuples of *relation* whose projection on *positions*
+        equals *key* (unordered). Falls back to the full visible set when
+        the index was never registered — correct, since every caller
+        re-unifies candidates against its pattern, just slower."""
+        buckets = self._indexes.get((relation, positions))
+        if buckets is None:
+            return self._visible.get(relation, ())
+        return buckets.get(key, ())
 
     def _note_appear(self, tup, t):
         self._appeared_at[tup] = t
         if tup.loc == self.node_id:
             self._visible.setdefault(tup.relation, set()).add(tup)
+            for positions, buckets in self._rel_indexes.get(tup.relation, ()):
+                key = self._project(tup, positions)
+                if key is not None:
+                    buckets.setdefault(key, set()).add(tup)
 
     def _note_disappear(self, tup):
         self._appeared_at.pop(tup, None)
@@ -219,6 +290,14 @@ class TupleStore:
             rel = self._visible.get(tup.relation)
             if rel:
                 rel.discard(tup)
+            for positions, buckets in self._rel_indexes.get(tup.relation, ()):
+                key = self._project(tup, positions)
+                if key is not None:
+                    bucket = buckets.get(key)
+                    if bucket:
+                        bucket.discard(tup)
+                        if not bucket:
+                            del buckets[key]
 
     # -- checkpoint support -----------------------------------------------------
 
@@ -254,6 +333,12 @@ class TupleStore:
         for tup in self._appeared_at:
             if tup.loc == self.node_id:
                 self._visible.setdefault(tup.relation, set()).add(tup)
+        # Secondary indexes are derived state: keep the registrations (they
+        # belong to the compiled program, not the snapshot) and rebuild the
+        # buckets from the restored visible sets.
+        for (relation, positions), buckets in self._indexes.items():
+            buckets.clear()
+            self._backfill(buckets, relation, positions)
 
     # -- enumeration -------------------------------------------------------------
 
@@ -265,7 +350,7 @@ class TupleStore:
         for tup in self._derivations:
             if tup not in self._base_count:
                 out.append((tup, self._appeared_at.get(tup)))
-        out.sort(key=lambda pair: canonical_bytes(pair[0].canonical()))
+        out.sort(key=lambda pair: pair[0].canonical_key())
         return out
 
     def all_beliefs(self):
@@ -276,5 +361,5 @@ class TupleStore:
                 out.append(
                     (tup, self._believe_peer.get(tup), self._appeared_at.get(tup))
                 )
-        out.sort(key=lambda item: canonical_bytes(item[0].canonical()))
+        out.sort(key=lambda item: item[0].canonical_key())
         return out

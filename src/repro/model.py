@@ -31,13 +31,14 @@ class Tup:
     dictionary keys throughout the engine and the provenance graph.
     """
 
-    __slots__ = ("relation", "loc", "args", "_hash")
+    __slots__ = ("relation", "loc", "args", "_hash", "_canon")
 
     def __init__(self, relation, loc, *args):
         self.relation = relation
         self.loc = loc
         self.args = tuple(args)
         self._hash = hash((relation, loc, self.args))
+        self._canon = None
 
     def __eq__(self, other):
         return (
@@ -56,6 +57,19 @@ class Tup:
 
     def canonical(self):
         return ("tup", self.relation, self.loc, self.args)
+
+    def canonical_key(self):
+        """Memoized canonical encoding, the engine's deterministic sort key.
+
+        The encoding is prefix-free (every value is tag- and
+        length-delimited), so comparing per-tuple keys component-wise
+        orders sequences of tuples exactly as encoding the whole sequence
+        would — which is what lets the engine sort supports without
+        re-encoding them on every event.
+        """
+        if self._canon is None:
+            self._canon = canonical_bytes(self.canonical())
+        return self._canon
 
     def wire_size(self):
         """Approximate serialized size in bytes (traffic accounting)."""

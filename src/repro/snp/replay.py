@@ -19,6 +19,13 @@ rcv(ack)". The conversion rules:
 Replay then runs the GCA over these events with a *fresh* state machine
 built by the node's registered application factory, yielding the node's
 partition of Gν.
+
+Replay correctness leans on the engine's determinism contract (see
+DESIGN.md): the indexed evaluator sorts every observable result into
+canonical order, and checkpoint snapshots carry logical state only —
+restoring one onto a fresh machine rebuilds the derived join-index state,
+so a replay seeded from a checkpoint is byte-identical to the original
+run regardless of evaluation strategy or hash randomization.
 """
 
 import time

@@ -3,8 +3,8 @@
 import pytest
 
 from repro.datalog import (
-    Var, Expr, Atom, Rule, AggregateRule, MaybeRule, Program, DatalogApp,
-    choice_tuple,
+    Var, Expr, Atom, Guard, Rule, AggregateRule, MaybeRule, Program,
+    DatalogApp, choice_tuple,
 )
 from repro.datalog.store import TupleStore, DerivationInstance
 from repro.model import Tup, Der, Und, Snd, Msg, PLUS, MINUS
@@ -301,6 +301,62 @@ class TestAggregates:
         app.handle_insert(Tup("c", "n", "p", 5), 0.0)
         app.handle_insert(Tup("c", "n", "q", 3), 1.0)
         assert app.has_tuple(Tup("cnt", "n", 2))
+
+    def _guarded(self):
+        return DatalogApp("n", Program([
+            AggregateRule("G", Atom("best", X, K), [Atom("c", X, Z, K)],
+                          agg_var=K, func="min",
+                          guards=[Guard(lambda b: b["K"] < 100,
+                                        vars=(K,), label="K<100")]),
+        ]))
+
+    def test_guard_excludes_tuples_from_group(self):
+        app = self._guarded()
+        app.handle_insert(Tup("c", "n", "p", 500), 0.0)  # guard rejects
+        assert not app.has_tuple(Tup("best", "n", 500))
+        app.handle_insert(Tup("c", "n", "q", 7), 1.0)
+        assert app.has_tuple(Tup("best", "n", 7))
+        app.handle_insert(Tup("c", "n", "r", 3), 2.0)
+        assert app.has_tuple(Tup("best", "n", 3))
+
+    def test_guard_rejected_change_emits_nothing(self):
+        app = self._guarded()
+        app.handle_insert(Tup("c", "n", "q", 7), 0.0)
+        outs = app.handle_insert(Tup("c", "n", "p", 500), 1.0)
+        assert outs == []
+        outs = app.handle_delete(Tup("c", "n", "p", 500), 2.0)
+        assert outs == []
+        assert app.has_tuple(Tup("best", "n", 7))
+
+    def test_guard_rejected_change_skips_recompute(self):
+        # Regression for the dead guard check in _mark_dirty: a tuple the
+        # guard rejects was never a group member, so it must not even
+        # schedule a recompute.
+        app = self._guarded()
+        app.handle_insert(Tup("c", "n", "q", 7), 0.0)
+        recomputes = []
+        original = app._recompute_group
+        app._recompute_group = lambda key, t, wl: (
+            recomputes.append(key), original(key, t, wl))
+        app.handle_insert(Tup("c", "n", "p", 500), 1.0)
+        app.handle_delete(Tup("c", "n", "p", 500), 2.0)
+        assert recomputes == []
+        app.handle_insert(Tup("c", "n", "r", 3), 3.0)
+        assert recomputes  # a passing tuple still recomputes
+
+    def test_worse_minmax_candidate_skips_recompute(self):
+        app = self._minapp()
+        app.handle_insert(Tup("c", "n", "p", 5), 0.0)
+        recomputes = []
+        original = app._recompute_group
+        app._recompute_group = lambda key, t, wl: (
+            recomputes.append(key), original(key, t, wl))
+        app.handle_insert(Tup("c", "n", "q", 9), 1.0)   # worse than 5
+        app.handle_delete(Tup("c", "n", "q", 9), 2.0)   # not the witness
+        assert recomputes == []
+        app.handle_insert(Tup("c", "n", "r", 2), 3.0)   # improves: recompute
+        assert recomputes
+        assert app.has_tuple(Tup("best", "n", 2))
 
     def test_custom_key(self):
         app = DatalogApp("n", Program([
