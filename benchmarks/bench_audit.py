@@ -1,0 +1,248 @@
+"""Audit-path benchmark: cold query vs. re-query-after-run.
+
+The paper's query costs (Figure 8) are dominated by downloading,
+verifying and replaying whole logs. This benchmark measures what the
+incremental audit pipeline saves for a *standing* auditor: after a cold
+macroquery, the deployment keeps running, and the auditor re-asks the
+same question via ``QueryProcessor.refresh()`` — which fetches, verifies
+and replays only each node's log suffix past the previously verified
+head — instead of rebuilding every view from entry 1.
+
+Three deployments (the paper's application families):
+
+* **chord** — a ring after bootstrap + stabilization; the post-query run
+  is one extra stabilization round plus a lookup;
+* **bgp**   — the tiered-AS Quagga stand-in under a RouteViews-style
+  stream; the post-query run announces fresh prefixes and re-converges;
+* **hadoop** — a WordCount job; the post-query run is a second, smaller
+  job wave on the same workers.
+
+``python benchmarks/bench_audit.py`` writes ``BENCH_audit.json`` next to
+this file; ``--smoke`` runs tiny sizes (used by CI). Both modes enforce
+that the re-query fetches strictly fewer log bytes and replays strictly
+fewer events than a cold query against the same (grown) deployment; the
+full-size run additionally enforces the ≥5× log-byte win on chord@50.
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from scenarios import run_chord, run_hadoop, run_quagga  # noqa: E402
+
+from repro.apps.bgp import originate, route  # noqa: E402
+from repro.snp import QueryProcessor  # noqa: E402
+from repro.workloads import ZipfCorpus  # noqa: E402
+
+OUT_PATH = Path(__file__).parent / "BENCH_audit.json"
+
+
+def _measure(qp, fn):
+    """Run *fn*, returning the QueryStats delta it accumulated on *qp*."""
+    before = qp.mq.stats.copy()
+    started = time.perf_counter()
+    fn()
+    wall = time.perf_counter() - started
+    delta = qp.mq.stats.delta_since(before)
+    return delta, wall
+
+
+def _row(delta, wall):
+    return {
+        "log_bytes": delta.log_bytes,
+        "events_replayed": delta.events_replayed,
+        "signatures_verified": delta.signatures_verified,
+        "logs_fetched": delta.logs_fetched,
+        "delta_fetches": delta.delta_fetches,
+        "auth_checks_skipped": delta.auth_checks_skipped,
+        "auth_check_seconds": round(delta.auth_check_seconds, 6),
+        "replay_seconds": round(delta.replay_seconds, 6),
+        "turnaround_seconds": round(delta.turnaround_seconds(), 6),
+        "wall_seconds": round(wall, 6),
+    }
+
+
+def _ratio(cold, requery, field):
+    denominator = requery[field]
+    if denominator <= 0:
+        return float("inf") if cold[field] > 0 else 1.0
+    return cold[field] / denominator
+
+
+# --------------------------------------------------------------- scenarios
+
+
+def chord_scenario(n_nodes, rounds, lookups, seed=7):
+    scen = run_chord(n_nodes=n_nodes, rounds=rounds, lookups=lookups,
+                     seed=seed)
+    dep = scen.deployment
+    net = scen.extra["net"]
+    source = net.members[0][0]
+    results = net.lookup(source, net.size // 3, "audit-probe")
+    target = results[0]
+
+    def query(qp):
+        qp.why(target, node=source, scope=6)
+
+    def run_further():
+        net.stabilize(rounds=1)
+        net.lookup(net.members[1][0], net.size // 2, "audit-post")
+
+    return f"chord@{n_nodes}", dep, query, run_further
+
+
+def bgp_scenario(n_updates, extra_prefixes, seed=7):
+    scen = run_quagga(n_updates=n_updates, seed=seed)
+    dep = scen.deployment
+    net = scen.extra["net"]
+    # Query a stub's originated prefix at a transit AS: stable under the
+    # post-query run below, which only announces *new* prefixes.
+    asn = sorted(net.daemons)[0]
+    table = net.routing_table(asn)
+    prefix = sorted(table)[0]
+    target = route(asn, prefix, table[prefix][0])
+
+    def query(qp):
+        qp.why(target, scope=12)
+
+    def run_further():
+        origin_asn = sorted(net.daemons)[-1]
+        daemon = net.daemons[origin_asn]
+        for k in range(extra_prefixes):
+            fresh = f"audit-prefix-{k}"
+            daemon.originated.add(fresh)
+            dep.node(origin_asn).insert(originate(origin_asn, fresh))
+        net.converge(max_rounds=10)
+
+    return f"bgp@{n_updates}", dep, query, run_further
+
+
+def hadoop_scenario(n_words, seed=7):
+    scen = run_hadoop(n_words=n_words, seed=seed)
+    dep = scen.deployment
+    job = scen.extra["job"]
+    results = scen.extra["results"]
+    word = max(sorted(results), key=lambda w: results[w])
+    target = job.output_tuple_for(word)
+
+    def query(qp):
+        qp.why(target, scope=8)
+
+    def run_further():
+        job.job_id = "job-audit-2"
+        extra = ZipfCorpus(n_words=max(80, n_words // 4),
+                           vocabulary=max(50, n_words // 20),
+                           seed=seed + 1)
+        job.run(extra.splits(len(job.mappers)))
+
+    return f"hadoop@{n_words}", dep, query, run_further
+
+
+# -------------------------------------------------------------------- main
+
+
+def run_scenario(name, dep, query, run_further):
+    qp = QueryProcessor(dep)
+    cold_initial, wall_ci = _measure(qp, lambda: query(qp))
+
+    run_further()
+
+    def refresh_and_requery():
+        qp.refresh()
+        query(qp)
+
+    requery, wall_rq = _measure(qp, refresh_and_requery)
+
+    qp_cold = QueryProcessor(dep)
+    cold_after, wall_ca = _measure(qp_cold, lambda: query(qp_cold))
+
+    cold_after_row = _row(cold_after, wall_ca)
+    requery_row = _row(requery, wall_rq)
+    entry = {
+        "cold_initial": _row(cold_initial, wall_ci),
+        "requery_after_run": requery_row,
+        "cold_after_run": cold_after_row,
+        "ratios": {
+            field: round(_ratio(cold_after_row, requery_row, field), 3)
+            for field in ("log_bytes", "events_replayed",
+                          "signatures_verified")
+        },
+        "epoch": qp.epoch,
+    }
+    print(f"{name:>14}  cold {cold_after_row['log_bytes']:>9} B "
+          f"/ {cold_after_row['events_replayed']:>6} ev   "
+          f"requery {requery_row['log_bytes']:>8} B "
+          f"/ {requery_row['events_replayed']:>5} ev   "
+          f"({entry['ratios']['log_bytes']}x bytes, "
+          f"{entry['ratios']['events_replayed']}x events)")
+    return entry
+
+
+def check(name, entry, require_5x_log_bytes=False):
+    # Explicit raises, not asserts: this is CI's acceptance gate and must
+    # survive `python -O`.
+    cold = entry["cold_after_run"]
+    requery = entry["requery_after_run"]
+    if requery["log_bytes"] >= cold["log_bytes"]:
+        raise SystemExit(
+            f"{name}: re-query fetched {requery['log_bytes']} log bytes, "
+            f"cold query only {cold['log_bytes']}"
+        )
+    if requery["events_replayed"] >= cold["events_replayed"]:
+        raise SystemExit(
+            f"{name}: re-query replayed {requery['events_replayed']} "
+            f"events, cold query only {cold['events_replayed']}"
+        )
+    if require_5x_log_bytes and entry["ratios"]["log_bytes"] < 5.0:
+        raise SystemExit(
+            f"{name}: log-byte win {entry['ratios']['log_bytes']}x "
+            "below the 5x target"
+        )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny sizes for CI; still enforces the "
+                             "strict cold-vs-requery inequalities")
+    parser.add_argument("--out", type=Path, default=OUT_PATH)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        builders = [
+            chord_scenario(n_nodes=10, rounds=2, lookups=2),
+            bgp_scenario(n_updates=24, extra_prefixes=1),
+            hadoop_scenario(n_words=300),
+        ]
+    else:
+        builders = [
+            chord_scenario(n_nodes=50, rounds=3, lookups=8),
+            bgp_scenario(n_updates=120, extra_prefixes=2),
+            hadoop_scenario(n_words=1200),
+        ]
+
+    scenarios = {}
+    for name, dep, query, run_further in builders:
+        entry = run_scenario(name, dep, query, run_further)
+        check(name, entry,
+              require_5x_log_bytes=(not args.smoke
+                                    and name.startswith("chord")))
+        scenarios[name] = entry
+
+    payload = {
+        "benchmark": "audit",
+        "smoke": args.smoke,
+        "scenarios": scenarios,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -222,10 +222,14 @@ class QueryStats:
         self.authenticator_bytes = 0
         self.checkpoint_bytes = 0
         self.logs_fetched = 0
+        self.delta_fetches = 0
         self.cache_hits = 0
+        self.refreshes = 0
         self.auth_check_seconds = 0.0
         self.replay_seconds = 0.0
         self.events_replayed = 0
+        self.signatures_verified = 0
+        self.auth_checks_skipped = 0
         self.microqueries = 0
 
     def downloaded_bytes(self):
@@ -242,12 +246,23 @@ class QueryStats:
         )
 
     def merge(self, other):
-        self.log_bytes += other.log_bytes
-        self.authenticator_bytes += other.authenticator_bytes
-        self.checkpoint_bytes += other.checkpoint_bytes
-        self.logs_fetched += other.logs_fetched
-        self.cache_hits += other.cache_hits
-        self.auth_check_seconds += other.auth_check_seconds
-        self.replay_seconds += other.replay_seconds
-        self.events_replayed += other.events_replayed
-        self.microqueries += other.microqueries
+        # Field-generic so new counters can never be silently dropped
+        # (every counter lives in the instance __dict__ and is additive).
+        for field, value in vars(other).items():
+            setattr(self, field, getattr(self, field, 0) + value)
+
+    def copy(self):
+        snap = QueryStats()
+        snap.merge(self)
+        return snap
+
+    def delta_since(self, before):
+        """The counters accumulated since *before* was snapshotted, as a
+        fresh QueryStats (field-generic, like :meth:`merge`)."""
+        delta = QueryStats()
+        for field, value in vars(self).items():
+            setattr(delta, field, value - getattr(before, field, 0))
+        return delta
+
+    def as_dict(self):
+        return dict(vars(self))

@@ -145,10 +145,11 @@ class SilentNode(SNooPyNode):
         self.refuse_retrieve = True
         self.refuse_consistency = True
 
-    def retrieve(self, upto_index=None, from_checkpoint=False):
+    def retrieve(self, upto_index=None, from_checkpoint=False,
+                 since_index=None):
         if self.refuse_retrieve:
             return None
-        return super().retrieve(upto_index, from_checkpoint)
+        return super().retrieve(upto_index, from_checkpoint, since_index)
 
     def head_authenticator(self):
         if self.refuse_retrieve:

@@ -174,8 +174,13 @@ class Deployment:
                 if replica.node_id != name:
                     replica.accept_mirror(response)
 
-    def find_mirror(self, origin):
-        """Best (longest) mirror of *origin*'s log held by any node."""
+    def find_mirror(self, origin, since_index=None):
+        """Best (longest) mirror of *origin*'s log held by any node.
+
+        With *since_index*, the stored copy is sliced to the suffix after
+        that entry (delta retrieval served from a replica); ``None`` means
+        no replica extends past the caller's verified head.
+        """
         best = None
         for node in self.nodes.values():
             if node.node_id == origin:
@@ -185,7 +190,10 @@ class Deployment:
                     best is None
                     or mirror.head_auth.index > best.head_auth.index):
                 best = mirror
-        return best
+        if best is None or since_index is None:
+            return best
+        from repro.snp.snoopy import suffix_of_response
+        return suffix_of_response(best, since_index)
 
     def collect_authenticators_about(self, target):
         """Ask every node for authenticators signed by *target* — the

@@ -17,6 +17,13 @@ node turned out:
   signature, or an equivocation exposed by the consistency check);
 * ``unreachable`` — the node did not respond to retrieve; its vertices stay
   yellow (Section 4.2's fourth limitation).
+
+Views are *extendable*: an ``ok`` view records its verified head (entry
+index + chain hash) and retains the replay machinery, so
+:meth:`MicroQuerier.refresh` can bring it up to date by fetching, verifying
+and replaying only the log suffix appended since — a node whose returned
+suffix does not continue the verified chain has provably forked its log
+(see DESIGN.md, "Audit path").
 """
 
 import time
@@ -27,7 +34,8 @@ from repro.snp.evidence import (
 )
 from repro.snp.log import RCV, ACK
 from repro.snp.replay import (
-    check_against_authenticator, replay_segment, verify_segment_hashes,
+    check_against_authenticator, extend_replay, replay_segment,
+    verify_segment_hashes,
 )
 from repro.provgraph.vertices import Color, SEND, RECEIVE
 from repro.util.errors import AuthenticationError, LogVerificationError
@@ -39,19 +47,34 @@ UNREACHABLE = "unreachable"
 
 
 class NodeView:
-    """The querier's verified view of one node."""
+    """The querier's verified view of one node.
+
+    For an ``ok`` view, ``head_index``/``head_hash`` identify the last log
+    entry whose chain hash the querier verified against a signed
+    authenticator — the anchor a later :meth:`MicroQuerier.refresh` extends
+    from. The invariant: ``graph`` is exactly the replay of entries
+    ``1..head_index`` and ``head_hash`` is the chain hash ``h_head_index``.
+    """
 
     __slots__ = ("node", "status", "graph", "log_len", "verdict_reason",
-                 "replay")
+                 "replay", "head_index", "head_hash", "head_time")
 
     def __init__(self, node, status, graph=None, log_len=0,
-                 verdict_reason=None, replay=None):
+                 verdict_reason=None, replay=None, head_index=0,
+                 head_hash=None, head_time=float("-inf")):
         self.node = node
         self.status = status
         self.graph = graph
         self.log_len = log_len
         self.verdict_reason = verdict_reason
         self.replay = replay
+        self.head_index = head_index
+        self.head_hash = head_hash
+        #: Timestamp of the last verified log entry: the horizon up to
+        #: which an absence in ``graph`` is *meaningful* (a vertex the
+        #: peers hold evidence for at a later t may simply postdate this
+        #: view; its absence proves nothing yet).
+        self.head_time = head_time
 
 
 class MicroResult:
@@ -81,7 +104,13 @@ class MicroQuerier:
         self.evidence = EvidenceStore()
         self.stats = QueryStats()
         self._views = {}
-        self._querier_identity = deployment.ca and None
+        # Authenticators (by signature bytes) already verified to lie on a
+        # node's trusted chain. A refresh extends that same chain, so these
+        # need neither re-verification nor re-comparison — and, not being
+        # coverage losses, they must not inflate ``auth_checks_skipped``.
+        # Reset whenever trust in the chain is (re)established from
+        # scratch (full rebuild, invalidate).
+        self._checked_auths = {}
         # The querier needs its own identity only for verification calls;
         # reuse a lightweight one so crypto ops are counted separately.
         from repro.crypto.keys import NodeIdentity
@@ -103,33 +132,147 @@ class MicroQuerier:
         return view
 
     def invalidate(self, node_id=None):
-        """Drop cached views (e.g. after the system ran further)."""
+        """Drop cached views (forces a full rebuild; prefer :meth:`refresh`
+        when the cached view is trustworthy and the system merely ran
+        further)."""
         if node_id is None:
             self._views.clear()
+            self._checked_auths.clear()
         else:
             self._views.pop(node_id, None)
+            self._checked_auths.pop(node_id, None)
 
-    def _build_view(self, node_id):
+    def refresh(self, node_id=None):
+        """Advance cached views to the deployment's current log heads.
+
+        Fetches, verifies and replays only the log suffix appended since
+        each view's verified head — the incremental counterpart of
+        :meth:`invalidate` + rebuild. Per cached view:
+
+        * ``ok`` — delta retrieve from the verified head; a suffix that
+          does not continue the verified chain is proof of a fork
+          (``proven-faulty``); an unreachable node keeps its stale but
+          verified view (its newer activity simply stays unexplored);
+        * ``proven-faulty`` — kept: signed proof does not expire;
+        * ``unreachable`` — a full build is retried (the node may have
+          come back).
+
+        With ``node_id=None`` every cached view is refreshed; a single
+        refreshed view is returned otherwise.
+        """
+        if node_id is None:
+            for known in sorted(self._views, key=str):
+                self.refresh(known)
+            return None
+        view = self._views.get(node_id)
+        if view is None:
+            return self.view_of(node_id)
+        self.stats.refreshes += 1
+        if view.status == PROVEN_FAULTY:
+            return view
+        if view.status == OK:
+            view = self._extend_view(node_id, view)
+        else:
+            view = self._build_view(node_id)
+        self._views[node_id] = view
+        return view
+
+    def _extend_view(self, node_id, view):
+        """Extend an ``ok`` view by its host's log suffix (or a mirror's)."""
         node = self.deployment.nodes.get(node_id)
         response = None
         if node is not None:
-            response = node.retrieve(from_checkpoint=self.use_checkpoints)
+            response = node.retrieve(since_index=view.head_index)
         from_mirror = False
         if response is None:
-            # Section 5.8 extension: fall back to a replicated copy of the
-            # log. The mirror is verified exactly like a direct response
-            # (hash chain + origin's signed head), so a lying replica
-            # cannot frame the origin.
-            response = self.deployment.find_mirror(node_id)
+            response = self.deployment.find_mirror(
+                node_id, since_index=view.head_index
+            )
             from_mirror = response is not None
             if from_mirror:
                 response.from_mirror = True
         if response is None:
+            return view  # unreachable: the stale view stays verified
+        if response.start_index != view.head_index + 1:
+            # The responder did not (or could not) anchor at our head —
+            # e.g. a log shorter than the verified head, or a replica that
+            # only holds an older segment. Fall back to a full build: the
+            # harvested evidence (which includes the old signed head)
+            # still exposes any fork during full verification. The
+            # response in hand is reused so the node is not asked to ship
+            # its log twice — unless a checkpoint-anchored refetch is
+            # preferred, in which case the discarded transfer still
+            # happened and must be accounted.
+            if self.use_checkpoints and not from_mirror:
+                self._account_response(response)
+                return self._build_view(node_id)
+            return self._build_view(node_id, response=response,
+                                    from_mirror=from_mirror)
+        self.stats.delta_fetches += 1
+        self._account_response(response)
+
+        started = time.perf_counter()
+        try:
+            if response.start_hash != view.head_hash:
+                raise LogVerificationError(
+                    node_id,
+                    f"suffix after entry {view.head_index} does not "
+                    "continue the verified chain (fork after cached head)",
+                )
+            hashes = self._verify_response(node_id, response)
+        except (LogVerificationError, AuthenticationError) as exc:
+            self.stats.auth_check_seconds += time.perf_counter() - started
+            if from_mirror:
+                # A corrupt replica cannot frame the origin; the origin is
+                # merely unreachable right now, so the view stays stale.
+                return view
+            return NodeView(node_id, PROVEN_FAULTY,
+                            verdict_reason=str(exc))
+        self.stats.auth_check_seconds += time.perf_counter() - started
+
+        if not response.entries:
+            # Nothing appended; the fresh head authenticator was checked
+            # against the cached head hash above, confirming no fork.
+            return view
+        alarms = self.deployment.maintainer.alarmed_msg_ids()
+        processed, elapsed, failure = extend_replay(
+            node_id, view.replay, response, known_alarm_msg_ids=alarms
+        )
+        self.stats.replay_seconds += elapsed
+        self.stats.events_replayed += processed
+        if failure is not None:
+            return NodeView(node_id, PROVEN_FAULTY,
+                            verdict_reason=str(failure), replay=view.replay)
+        self._harvest_evidence(response)
+        view.head_index = response.start_index + len(response.entries) - 1
+        view.head_hash = hashes[-1]
+        view.head_time = response.entries[-1].timestamp
+        view.log_len = view.head_index
+        return view
+
+    def _build_view(self, node_id, response=None, from_mirror=False):
+        """Build a view from scratch. *response* short-circuits retrieval
+        when the caller already holds a full response (the refresh
+        fallback path) — trust in the chain is established from zero
+        either way, so previously memoized evidence checks are dropped."""
+        self._checked_auths.pop(node_id, None)
+        node = self.deployment.nodes.get(node_id)
+        if response is None:
+            if node is not None:
+                response = node.retrieve(from_checkpoint=self.use_checkpoints)
+            if response is None:
+                # Section 5.8 extension: fall back to a replicated copy of
+                # the log. The mirror is verified exactly like a direct
+                # response (hash chain + origin's signed head), so a lying
+                # replica cannot frame the origin.
+                response = self.deployment.find_mirror(node_id)
+                from_mirror = response is not None
+                if from_mirror:
+                    response.from_mirror = True
+        if response is None:
             return NodeView(node_id, UNREACHABLE,
                             verdict_reason="no response to retrieve")
-        self.stats.logs_fetched += 1
-        self.stats.log_bytes += sum(e.size_bytes() for e in response.entries)
-        self.stats.authenticator_bytes += AUTHENTICATOR_BYTES
+        self._account_response(response)
         if response.checkpoint is not None:
             self.stats.checkpoint_bytes += response.checkpoint.size_bytes()
             self.stats.checkpoint_bytes += self._snapshot_size(
@@ -138,7 +281,7 @@ class MicroQuerier:
 
         started = time.perf_counter()
         try:
-            self._verify_response(node_id, response)
+            hashes = self._verify_response(node_id, response)
         except (LogVerificationError, AuthenticationError) as exc:
             self.stats.auth_check_seconds += time.perf_counter() - started
             if from_mirror:
@@ -165,8 +308,24 @@ class MicroQuerier:
                             replay=result)
         self._harvest_evidence(response)
         end_index = response.start_index + len(response.entries) - 1
+        head_hash = hashes[-1] if hashes else response.start_hash
+        if response.entries:
+            head_time = response.entries[-1].timestamp
+        elif response.checkpoint is not None:
+            head_time = response.checkpoint.timestamp
+        else:
+            head_time = float("-inf")
         return NodeView(node_id, OK, graph=result.graph, log_len=end_index,
-                        replay=result)
+                        replay=result, head_index=end_index,
+                        head_hash=head_hash, head_time=head_time)
+
+    def _account_response(self, response):
+        """Charge one retrieved segment's transfer to the stats — the
+        single place download accounting happens, so full, delta and
+        discarded-fallback fetches stay in lockstep."""
+        self.stats.logs_fetched += 1
+        self.stats.log_bytes += sum(e.size_bytes() for e in response.entries)
+        self.stats.authenticator_bytes += AUTHENTICATOR_BYTES
 
     def _snapshot_size(self, chk_entry):
         try:
@@ -177,6 +336,11 @@ class MicroQuerier:
             return 0
 
     # -------------------------------------------------------- verification
+
+    def _verify_auth(self, public_key, auth):
+        """Signature check with accounting (Figure 8's verification cost)."""
+        self.stats.signatures_verified += 1
+        verify_authenticator(self._querier_identity, public_key, auth)
 
     def _verify_response(self, node_id, response):
         """All the checks that can *prove* the node faulty.
@@ -191,20 +355,46 @@ class MicroQuerier:
         4. Consistency check (Section 5.5): authenticators other nodes hold
            about this node must lie on the same chain — two signed heads
            off-chain expose equivocation.
+
+        Returns the recomputed chain hashes, aligned with the entries —
+        the last one is the verified head a later refresh extends from.
+        Works for full, checkpoint-anchored and delta responses alike;
+        evidence that was *never* checkable against any verified segment
+        is counted as skipped in the stats (per verification pass), while
+        evidence already verified on this same chain is memoized and not
+        re-verified, re-compared or re-counted on refresh.
         """
         public_key = self.deployment.public_key_of(node_id)
-        verify_authenticator(self._querier_identity, public_key,
-                             response.head_auth)
+        self._verify_auth(public_key, response.head_auth)
         hashes = verify_segment_hashes(response)
-        check_against_authenticator(response, hashes, response.head_auth)
+        check_against_authenticator(response, hashes, response.head_auth,
+                                    self.stats)
         for auth in self.evidence.for_node(node_id):
-            check_against_authenticator(response, hashes, auth)
+            if self._already_checked(node_id, auth):
+                continue
+            check_against_authenticator(response, hashes, auth, self.stats)
+            self._note_checked(node_id, response, auth)
         if response.checkpoint is not None:
             self._verify_checkpoint(node_id, response.checkpoint)
         if self.verify_embedded_signatures:
             self._verify_embedded(node_id, response)
         if self.run_consistency_check:
             self._consistency_check(node_id, response, hashes)
+        return hashes
+
+    def _already_checked(self, node_id, auth):
+        return bytes(auth.signature) in self._checked_auths.get(node_id, ())
+
+    def _note_checked(self, node_id, response, auth):
+        """Memoize an authenticator that was actually compared against the
+        verified chain (not one merely skipped as pre-anchor): a later
+        refresh extends the same chain, so the comparison stays valid."""
+        first = response.start_index
+        last = first + len(response.entries) - 1
+        if first - 1 <= auth.index <= last:
+            self._checked_auths.setdefault(node_id, set()).add(
+                bytes(auth.signature)
+            )
 
     def _verify_checkpoint(self, node_id, chk_entry):
         """Verify the checkpoint's tuple lists against the Merkle roots
@@ -243,7 +433,7 @@ class MicroQuerier:
                         node_id, f"rcv entry {entry.index} lacks evidence"
                     )
                 sender_key = self.deployment.public_key_of(auth.node)
-                verify_authenticator(self._querier_identity, sender_key, auth)
+                self._verify_auth(sender_key, auth)
             elif entry.entry_type == ACK:
                 wire_ack = entry.aux.get("wire_ack")
                 if wire_ack is None:
@@ -251,19 +441,21 @@ class MicroQuerier:
                         node_id, f"ack entry {entry.index} lacks evidence"
                     )
                 acker_key = self.deployment.public_key_of(wire_ack.src)
-                verify_authenticator(self._querier_identity, acker_key,
-                                     wire_ack.auth)
+                self._verify_auth(acker_key, wire_ack.auth)
 
     def _consistency_check(self, node_id, response, hashes):
         """Ask all other nodes for authenticators signed by *node_id* and
         check each against the retrieved chain (Section 5.5)."""
         public_key = self.deployment.public_key_of(node_id)
         for auth in self.deployment.collect_authenticators_about(node_id):
+            if self._already_checked(node_id, auth):
+                continue  # verified on this same chain in an earlier pass
             try:
-                verify_authenticator(self._querier_identity, public_key, auth)
+                self._verify_auth(public_key, auth)
             except AuthenticationError:
                 continue  # not actually signed by node_id; ignore
-            check_against_authenticator(response, hashes, auth)
+            check_against_authenticator(response, hashes, auth, self.stats)
+            self._note_checked(node_id, response, auth)
 
     def _harvest_evidence(self, response):
         """Collect the authenticators embedded in a verified log into the
@@ -322,9 +514,25 @@ class MicroQuerier:
         real = view.graph.get(vertex.key())
         if real is not None:
             return real, real.color
+        if vertex.t is not None and vertex.t >= view.head_time:
+            # The vertex postdates this view's verified head (the host's
+            # view may be stale — e.g. kept through a refresh while the
+            # host was unreachable, or simply not refreshed since the
+            # system ran on). Its absence proves nothing: red must stay
+            # reserved for *proof*, so the vertex remains unresolved
+            # until a refresh audits that far. The boundary leans yellow
+            # (>=, not >) deliberately: outputs triggered by the head
+            # entry are logged strictly *after* it (_next_time), so their
+            # absence at t == head_time is not provable — whereas sends
+            # the expected machine produces at that instant are emitted
+            # by replay of the verified prefix and found in the graph
+            # above, never lost to this guard.
+            vertex.set_color(Color.YELLOW)
+            return vertex, Color.YELLOW
         if vertex.vtype in (SEND, RECEIVE):
             # The peer's log contains signed evidence of this message, but
-            # the host's replayed subgraph does not: the host suppressed it.
+            # the host's replayed subgraph (which verifiably covers the
+            # message's instant) does not: the host suppressed it.
             vertex.set_color(Color.RED)
             return vertex, Color.RED
         vertex.set_color(Color.RED)

@@ -16,7 +16,6 @@ distance k of the root are explored — matching how an analyst zooms in one
 neighborhood at a time (Section 7.3).
 """
 
-from repro.metrics import QueryStats
 from repro.provgraph.graph import ProvenanceGraph
 from repro.provgraph.vertices import (
     Color, APPEAR, DISAPPEAR, EXIST, BELIEVE,
@@ -106,6 +105,29 @@ class QueryProcessor:
         self.deployment = deployment
         self.mq = MicroQuerier(deployment, use_checkpoints=use_checkpoints,
                                **mq_kwargs)
+        #: Monotone view-generation counter: bumped by :meth:`refresh`, so
+        #: callers can tag results with the epoch they were computed in.
+        self.epoch = 0
+
+    # ------------------------------------------------------------ freshness
+
+    def refresh(self, node_id=None):
+        """Advance cached node views to the deployment's current state and
+        start a new query epoch.
+
+        Repeated macroqueries against a *running* deployment would
+        otherwise answer from stale views (the cache has no TTL) — or pay
+        a full log re-fetch, re-verification and re-replay per node after
+        an ``invalidate()``. Refresh instead extends each verified view by
+        only the log suffix appended since it was built (see
+        :meth:`repro.snp.microquery.MicroQuerier.refresh`). Returns the
+        new epoch number; the per-node refresh cost lands in ``mq.stats``
+        like any other retrieval, so the next query's stats delta includes
+        it only if the caller measures across the refresh.
+        """
+        self.mq.refresh(node_id)
+        self.epoch += 1
+        return self.epoch
 
     # ---------------------------------------------------------- entry points
 
@@ -277,18 +299,11 @@ def _copy_vertex(vertex):
 
 
 def _snapshot_stats(stats):
-    snap = QueryStats()
-    snap.merge(stats)
-    return snap
+    return stats.copy()
 
 
 def _diff_stats(before, after):
-    delta = QueryStats()
-    for field in (
-        "log_bytes", "authenticator_bytes", "checkpoint_bytes",
-        "logs_fetched", "cache_hits", "auth_check_seconds",
-        "replay_seconds", "events_replayed", "microqueries",
-    ):
-        setattr(delta, field,
-                getattr(after, field) - getattr(before, field))
-    return delta
+    # Field set derived from the instance __dict__ (inside delta_since)
+    # rather than a hand-kept list, so new QueryStats counters are never
+    # silently dropped from per-query deltas.
+    return after.delta_since(before)

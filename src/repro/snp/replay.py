@@ -98,18 +98,35 @@ def verify_segment_hashes(response):
     return hashes
 
 
-def check_against_authenticator(response, hashes, auth):
+def check_against_authenticator(response, hashes, auth, stats=None):
     """Check that evidence authenticator *auth* lies on this chain.
 
     The authenticator's (index, hash) must match the segment. Raises
     LogVerificationError on mismatch — that is *proof* the node forked or
     rewrote its log, because both the authenticator and the returned
     segment are signed/committed by the same node.
+
+    A partial segment (checkpoint- or delta-anchored) still pins one hash
+    *before* its first entry: ``response.start_hash`` is ``h_{start-1}``,
+    so an authenticator for entry ``start-1`` is checkable too. Evidence
+    strictly before that genuinely cannot be compared against the segment;
+    those skips are counted on *stats* (``auth_checks_skipped``) so the
+    coverage loss is visible instead of silent.
     """
     index = auth.index
     first = response.start_index
     last = first + len(response.entries) - 1
-    if index < first:
+    if index == first - 1:
+        if auth.entry_hash != response.start_hash:
+            raise LogVerificationError(
+                response.node,
+                f"authenticator for entry {index} does not match the hash "
+                "anchoring the returned segment (equivocation or tampering)",
+            )
+        return
+    if index < first - 1:
+        if stats is not None:
+            stats.auth_checks_skipped += 1
         return  # authenticator predates the segment; nothing to compare
     if index > last:
         raise LogVerificationError(
@@ -126,13 +143,18 @@ def check_against_authenticator(response, hashes, auth):
 
 
 class ReplayResult:
-    """Outcome of replaying one node's log segment."""
+    """Outcome of replaying one node's log segment.
+
+    Retains the :class:`~repro.provgraph.gca.GraphConstructor` so a later
+    verified log *suffix* can be replayed onto the same state with
+    :func:`extend_replay` instead of rebuilding from entry 1.
+    """
 
     __slots__ = ("node", "graph", "machine", "events_replayed",
-                 "replay_seconds", "hashes", "response", "failure")
+                 "replay_seconds", "hashes", "response", "failure", "gca")
 
     def __init__(self, node, graph, machine, events_replayed, replay_seconds,
-                 hashes, response, failure=None):
+                 hashes, response, failure=None, gca=None):
         self.node = node
         self.graph = graph
         self.machine = machine
@@ -141,10 +163,32 @@ class ReplayResult:
         self.hashes = hashes
         self.response = response
         self.failure = failure
+        self.gca = gca
 
     @property
     def ok(self):
         return self.failure is None
+
+
+def _drive_gca(gca, node_id, entries):
+    """Feed *entries* (converted to history events) through *gca*,
+    capturing crashes as a replay failure — the shared core of
+    :func:`replay_segment` and :func:`extend_replay`, kept single so the
+    incremental replay can never diverge from the full one.
+
+    Returns ``(events_processed, seconds, failure)``.
+    """
+    events = log_entries_to_history(node_id, entries)
+    started = time.perf_counter()
+    failure = None
+    processed = 0
+    try:
+        for event in events:
+            gca.process(event)
+            processed += 1
+    except Exception as exc:  # hostile log crashed the replay machinery
+        failure = ReplayDivergence(node_id, repr(exc))
+    return processed, time.perf_counter() - started, failure
 
 
 def replay_segment(node_id, response, app_factory, t_prop,
@@ -165,17 +209,7 @@ def replay_segment(node_id, response, app_factory, t_prop,
         machine = gca.machine(node_id)
         machine.restore(chk.aux["snapshot"])
         gca.seed_node(node_id, chk.aux["extant"], chk.aux["believed"])
-    events = log_entries_to_history(node_id, response.entries)
-    started = time.perf_counter()
-    failure = None
-    processed = 0
-    try:
-        for event in events:
-            gca.process(event)
-            processed += 1
-    except Exception as exc:  # hostile log crashed the replay machinery
-        failure = ReplayDivergence(node_id, repr(exc))
-    elapsed = time.perf_counter() - started
+    processed, elapsed, failure = _drive_gca(gca, node_id, response.entries)
     return ReplayResult(
         node=node_id,
         graph=gca.graph,
@@ -185,4 +219,38 @@ def replay_segment(node_id, response, app_factory, t_prop,
         hashes=None,
         response=response,
         failure=failure,
+        gca=gca,
     )
+
+
+def extend_replay(node_id, result, response,
+                  known_alarm_msg_ids=frozenset()):
+    """Continue a previous replay with a verified log suffix.
+
+    *result* must be the ReplayResult of an earlier replay of the same
+    node: its retained GCA still holds the bookkeeping state (open
+    exist/believe intervals, pending sends, unacked messages) and the
+    node's replayed state machine, so processing only the new events
+    yields the same graph a full re-replay of the extended log would.
+    The alarm set is refreshed to what the maintainer knows *now* —
+    verdicts on older events keep reflecting what was known when their
+    segment was audited (see DESIGN.md, "Audit path").
+
+    Mutates *result* in place; returns ``(events_processed, seconds,
+    failure)`` with the same crash-capture semantics as
+    :func:`replay_segment`.
+    """
+    gca = result.gca
+    if gca is None:
+        raise ValueError(
+            f"replay result for {node_id!r} does not retain its GCA; "
+            "cannot extend"
+        )
+    gca.known_alarm_msg_ids = known_alarm_msg_ids
+    processed, elapsed, failure = _drive_gca(gca, node_id, response.entries)
+    result.events_replayed += processed
+    result.replay_seconds += elapsed
+    result.machine = gca.machines.get(node_id)
+    result.response = response
+    result.failure = failure
+    return processed, elapsed, failure

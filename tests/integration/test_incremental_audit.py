@@ -1,0 +1,291 @@
+"""The incremental audit pipeline: delta retrieval, extendable views,
+refresh semantics, and the evidence-boundary bugfix.
+
+The invariant under test: after ``refresh()``, a querier's views answer
+exactly like a cold querier's would (same tuples, same verdicts), while
+having fetched, verified and replayed only the log suffix past each
+view's previously verified head — and a node that forks its log after a
+cached head is *proven* faulty by the refresh, not silently re-verified.
+"""
+
+import pytest
+
+from repro.apps.mincost import best_cost, build_paper_network, link
+from repro.metrics import QueryStats
+from repro.snp import Deployment, QueryProcessor
+from repro.snp.adversary import ForkingNode, SilentNode, TamperingNode
+from repro.snp.snoopy import suffix_of_response
+from repro.snp.replay import check_against_authenticator
+from repro.util.errors import LogVerificationError
+
+
+def _grown_net(seed=21, node_overrides=None):
+    dep = Deployment(seed=seed, key_bits=256)
+    nodes = build_paper_network(dep, node_overrides=node_overrides)
+    dep.run()
+    return dep, nodes
+
+
+# ------------------------------------------------------------ delta retrieve
+
+
+class TestDeltaRetrieve:
+    def test_suffix_anchors_at_previous_head(self):
+        dep, nodes = _grown_net()
+        node = nodes["b"]
+        head = len(node.log)
+        nodes["a"].insert(link("a", "z", 2))
+        dep.run()
+        response = node.retrieve(since_index=head)
+        assert response.start_index == head + 1
+        assert response.start_hash == node.log.hash_before(head + 1)
+        assert [e.index for e in response.entries] == \
+            list(range(head + 1, len(node.log) + 1))
+
+    def test_empty_suffix_still_carries_fresh_head_auth(self):
+        dep, nodes = _grown_net()
+        node = nodes["c"]
+        head = len(node.log)
+        response = node.retrieve(since_index=head)
+        assert response.entries == []
+        assert response.start_index == head + 1
+        assert response.start_hash == node.log.head_hash()
+        assert response.head_auth.index == head
+
+    def test_since_beyond_head_falls_back_to_full_log(self):
+        dep, nodes = _grown_net()
+        node = nodes["c"]
+        response = node.retrieve(since_index=len(node.log) + 10)
+        assert response.start_index == 1
+        assert len(response.entries) == len(node.log)
+
+    def test_mirror_served_suffix(self):
+        dep, nodes = _grown_net()
+        head = 3
+        dep.replicate_logs()
+        full = dep.find_mirror("b")
+        sliced = dep.find_mirror("b", since_index=head)
+        assert sliced.start_index == head + 1
+        assert sliced.start_hash == full.entries[head - 1].entry_hash
+        assert len(sliced.entries) == len(full.entries) - head
+        # A replica no longer than the verified head has nothing to serve.
+        assert dep.find_mirror(
+            "b", since_index=full.head_auth.index
+        ) is None
+
+    def test_suffix_of_response_unanchorable_returns_original(self):
+        dep, nodes = _grown_net()
+        node = nodes["b"]
+        partial = node.retrieve(since_index=5)
+        # The stored copy starts at entry 6; it cannot anchor a
+        # continuation at entry 3, so the full copy is returned for the
+        # querier to verify from scratch.
+        assert suffix_of_response(partial, 3) is partial
+
+
+# ---------------------------------------------------------- refresh: views
+
+
+class TestRefreshStaleness:
+    def test_new_tuples_visible_after_refresh(self):
+        dep, nodes = _grown_net()
+        qp = QueryProcessor(dep)
+        qp.why(best_cost("c", "d", 5))
+        qp.mq.view_of("a")  # cache a's view before the system runs on
+        nodes["a"].insert(link("a", "z", 2))
+        dep.run()
+        # Without refresh the view is stale: the new route is missing.
+        with pytest.raises(Exception):
+            qp.why(best_cost("a", "z", 2))
+        epoch = qp.refresh()
+        assert epoch == 1
+        result = qp.why(best_cost("a", "z", 2))
+        assert result.is_clean()
+
+    def test_requery_fetches_only_the_suffix(self):
+        dep, nodes = _grown_net()
+        qp = QueryProcessor(dep)
+        cold = qp.why(best_cost("c", "d", 5)).stats
+        nodes["a"].insert(link("a", "z", 2))
+        dep.run()
+        before = qp.mq.stats.copy()
+        qp.refresh()
+        qp.why(best_cost("c", "d", 5))
+        requery = qp.mq.stats.delta_since(before)
+        # A fresh querier pays the full (now longer) logs.
+        cold_after = QueryProcessor(dep).why(best_cost("c", "d", 5)).stats
+        assert requery.delta_fetches > 0
+        assert 0 < requery.log_bytes < cold.log_bytes
+        assert requery.log_bytes < cold_after.log_bytes
+        assert 0 < requery.events_replayed < cold_after.events_replayed
+
+    def test_refreshed_views_match_cold_views(self):
+        dep, nodes = _grown_net()
+        qp = QueryProcessor(dep)
+        qp.why(best_cost("c", "d", 5))
+        # Deleting c's direct link reroutes the provenance through b
+        # (bestCost stays 5: c→b is 2, b→d is 3).
+        nodes["c"].delete(link("c", "d", 5))
+        dep.run()
+        qp.refresh()
+        warm = qp.why(best_cost("c", "d", 5))
+        cold = QueryProcessor(dep).why(best_cost("c", "d", 5))
+        assert {v.key() for v in warm.vertices()} == \
+            {v.key() for v in cold.vertices()}
+        assert warm.is_clean() and cold.is_clean()
+
+    def test_noop_refresh_fetches_no_bytes_and_keeps_views(self):
+        dep, nodes = _grown_net()
+        qp = QueryProcessor(dep)
+        qp.why(best_cost("c", "d", 5))
+        view = qp.mq.view_of("c")
+        before = qp.mq.stats.copy()
+        qp.refresh()
+        delta = qp.mq.stats.delta_since(before)
+        assert delta.log_bytes == 0
+        assert delta.events_replayed == 0
+        assert delta.refreshes > 0
+        assert qp.mq.view_of("c") is view
+
+    def test_refresh_recovers_previously_silent_node(self):
+        dep, nodes = _grown_net(node_overrides={"b": SilentNode})
+        qp = QueryProcessor(dep)
+        assert qp.why(best_cost("c", "d", 5)).yellow_vertices()
+        nodes["b"].refuse_retrieve = False
+        qp.refresh()
+        assert qp.why(best_cost("c", "d", 5)).is_clean()
+
+    def test_refresh_keeps_stale_view_when_node_goes_silent(self):
+        dep, nodes = _grown_net()
+        qp = QueryProcessor(dep)
+        qp.why(best_cost("c", "d", 5))
+        view = qp.mq.view_of("b")
+        nodes["b"].retrieve = lambda *a, **k: None  # node stops answering
+        refreshed = qp.mq.refresh("b")
+        assert refreshed is view
+        assert refreshed.status == "ok"
+
+    def test_stale_view_miss_is_yellow_not_red(self):
+        # Red means *proof*: a correct node whose cached view simply does
+        # not extend to newer activity (here: kept stale through a refresh
+        # while unreachable) must not be flagged for vertices that
+        # postdate its verified head.
+        dep, nodes = _grown_net()
+        qp = QueryProcessor(dep)
+        qp.why(best_cost("c", "d", 5))
+        nodes["a"].insert(link("a", "b", 1))  # new traffic toward b
+        dep.run()
+        nodes["b"].retrieve = lambda *a, **k: None
+        qp.refresh()
+        result = qp.effects(link("a", "b", 1), node="a", scope=4)
+        assert not [v for v in result.red_vertices() if v.node == "b"]
+        assert [v for v in result.yellow_vertices() if v.node == "b"]
+
+    def test_refresh_does_not_recount_verified_evidence_as_skipped(self):
+        dep, nodes = _grown_net()
+        qp = QueryProcessor(dep)
+        qp.why(best_cost("c", "d", 5))
+        qp.refresh()  # evidence from the build is memoized, not re-skipped
+        before = qp.mq.stats.copy()
+        qp.refresh()
+        delta = qp.mq.stats.delta_since(before)
+        assert delta.auth_checks_skipped == 0
+        # ... and already-verified consistency evidence is not re-signed:
+        # only the fresh per-node head authenticators need verification.
+        assert delta.signatures_verified == len(qp.mq._views)
+
+
+# ------------------------------------------------------------ refresh: forks
+
+
+class TestRefreshForkDetection:
+    def test_fork_after_cached_head_is_proven_faulty(self):
+        dep, nodes = _grown_net(node_overrides={"b": ForkingNode})
+        qp = QueryProcessor(dep)
+        qp.why(best_cost("c", "d", 5))
+        head = qp.mq.view_of("b").head_index
+        # b rewrites history below the verified head and keeps operating,
+        # so its replacement log grows past the old head on a new chain.
+        nodes["b"].fork_log(keep_upto=head - 4)
+        nodes["b"].insert(link("b", "q", 4))
+        dep.run()
+        view = qp.mq.refresh("b")
+        assert view.status == "proven-faulty"
+        assert "fork" in view.verdict_reason
+
+    def test_fork_to_shorter_log_is_proven_faulty(self):
+        dep, nodes = _grown_net(node_overrides={"b": ForkingNode})
+        qp = QueryProcessor(dep)
+        qp.why(best_cost("c", "d", 5))
+        nodes["b"].fork_log(keep_upto=3)
+        view = qp.mq.refresh("b")
+        assert view.status == "proven-faulty"
+
+    def test_proven_faulty_verdict_survives_refresh(self):
+        dep, nodes = _grown_net(node_overrides={"b": TamperingNode})
+        nodes["b"].tamper_entry(2, ("tampered",))
+        qp = QueryProcessor(dep)
+        view = qp.mq.view_of("b")
+        assert view.status == "proven-faulty"
+        assert qp.mq.refresh("b") is view
+
+    def test_macroquery_after_fork_refresh_flags_node(self):
+        dep, nodes = _grown_net(node_overrides={"b": ForkingNode})
+        qp = QueryProcessor(dep)
+        qp.why(best_cost("c", "d", 5))
+        head = qp.mq.view_of("b").head_index
+        nodes["b"].fork_log(keep_upto=head - 4)
+        nodes["b"].insert(link("b", "q", 4))
+        dep.run()
+        qp.refresh()
+        result = qp.why(best_cost("c", "d", 5))
+        assert "b" in result.faulty_nodes()
+
+
+# ----------------------------------------------- evidence boundary (bugfix)
+
+
+class TestEvidenceBoundary:
+    def _segment(self, node, since):
+        response = node.retrieve(since_index=since)
+        from repro.snp.replay import verify_segment_hashes
+        return response, verify_segment_hashes(response)
+
+    def test_anchor_authenticator_is_checked_not_skipped(self):
+        dep, nodes = _grown_net()
+        node = nodes["b"]
+        response, hashes = self._segment(node, since=5)
+        entry = node.log.entry(5)
+        from repro.snp.evidence import sign_authenticator
+        good = sign_authenticator(node.identity, 5, entry.timestamp,
+                                  entry.entry_hash)
+        stats = QueryStats()
+        check_against_authenticator(response, hashes, good, stats)
+        assert stats.auth_checks_skipped == 0
+        bad = sign_authenticator(node.identity, 5, entry.timestamp,
+                                 b"\x00" * 32)
+        with pytest.raises(LogVerificationError):
+            check_against_authenticator(response, hashes, bad, stats)
+
+    def test_pre_anchor_evidence_counted_as_skipped(self):
+        dep, nodes = _grown_net()
+        node = nodes["b"]
+        response, hashes = self._segment(node, since=5)
+        entry = node.log.entry(2)
+        from repro.snp.evidence import sign_authenticator
+        old = sign_authenticator(node.identity, 2, entry.timestamp,
+                                 entry.entry_hash)
+        stats = QueryStats()
+        check_against_authenticator(response, hashes, old, stats)
+        assert stats.auth_checks_skipped == 1
+
+    def test_checkpoint_query_reports_skipped_evidence(self):
+        dep, nodes = _grown_net()
+        dep.checkpoint_all()
+        nodes["a"].insert(link("a", "z", 2))
+        dep.run()
+        qp = QueryProcessor(dep, use_checkpoints=True)
+        result = qp.why(best_cost("c", "d", 5))
+        # Evidence below the checkpoint anchors cannot be compared against
+        # the partial segments; the loss must be visible, not silent.
+        assert result.stats.auth_checks_skipped > 0

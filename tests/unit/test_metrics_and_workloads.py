@@ -84,6 +84,35 @@ class TestQueryStats:
         a.merge(b)
         assert a.log_bytes == 30
 
+    def test_merge_covers_every_field(self):
+        a, b = QueryStats(), QueryStats()
+        for offset, field in enumerate(sorted(vars(b))):
+            setattr(b, field, offset + 1)
+        a.merge(b)
+        for offset, field in enumerate(sorted(vars(b))):
+            assert getattr(a, field) == offset + 1, field
+
+    def test_diff_covers_every_field(self):
+        # Regression: per-query deltas must be derived from the instance
+        # field set, so a newly added counter can never be silently
+        # dropped from _diff_stats / delta_since.
+        from repro.snp.query import _diff_stats
+        before, after = QueryStats(), QueryStats()
+        for offset, field in enumerate(sorted(vars(after))):
+            setattr(before, field, 1)
+            setattr(after, field, offset + 3)
+        delta = _diff_stats(before, after)
+        assert set(vars(delta)) == set(vars(after))
+        for offset, field in enumerate(sorted(vars(after))):
+            assert getattr(delta, field) == offset + 2, field
+
+    def test_copy_is_independent(self):
+        a = QueryStats()
+        a.log_bytes = 7
+        b = a.copy()
+        b.log_bytes += 1
+        assert a.log_bytes == 7 and b.log_bytes == 8
+
 
 class TestRouteViews:
     def test_event_count(self):
