@@ -87,7 +87,7 @@ def chord_scenario(n_nodes, rounds, lookups, seed=7):
     target = results[0]
 
     def query(qp):
-        qp.why(target, node=source, scope=6)
+        return qp.why(target, node=source, scope=6)
 
     def run_further():
         net.stabilize(rounds=1)
@@ -108,7 +108,7 @@ def bgp_scenario(n_updates, extra_prefixes, seed=7):
     target = route(asn, prefix, table[prefix][0])
 
     def query(qp):
-        qp.why(target, scope=12)
+        return qp.why(target, scope=12)
 
     def run_further():
         origin_asn = sorted(net.daemons)[-1]
@@ -131,7 +131,7 @@ def hadoop_scenario(n_words, seed=7):
     target = job.output_tuple_for(word)
 
     def query(qp):
-        qp.why(target, scope=8)
+        return qp.why(target, scope=8)
 
     def run_further():
         job.job_id = "job-audit-2"

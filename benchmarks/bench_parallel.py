@@ -1,0 +1,202 @@
+"""Parallel view-build benchmark: worker-pool builds vs. serial.
+
+The per-node retrieve→verify→replay pipeline is independent per queried
+node (the views share only the querier's evidence store), so
+``MicroQuerier`` schedules it onto a configurable executor. This
+benchmark measures what that buys a *remote* auditor on the paper's three
+application families, at 1/2/4/8 workers:
+
+* **cold build** — ``QueryProcessor.prefetch()`` (build every node's
+  verified view as one executor batch) followed by the scenario's
+  macroquery;
+* **refresh** — the deployment runs further, then ``refresh()`` advances
+  every cached view by its log suffix (one delta fetch per node).
+
+Downloads are modeled with ``Deployment.set_query_transport``: each
+fetched segment sleeps RTT + bytes/bandwidth on the worker thread that
+fetched it (the paper's Figure 8 query model assumes a 10 Mbps download;
+the RTT here places the auditor across a WAN). Replay and signature
+checks execute under the GIL, so the speedup comes from overlapping
+downloads with each other and with compute — wall-clock converges toward
+the pure-compute floor as workers are added.
+
+Every run also enforces the determinism contract: vertex/color
+fingerprints, proven-faulty verdicts and merged QueryStats counters must
+be identical across all worker counts (``results_match``), or the run
+fails. ``--smoke`` uses tiny sizes + a short RTT (used by CI, which then
+compares the output against ``baselines/`` via check_regression.py);
+the full run additionally enforces the ≥2x cold speedup at 4 workers on
+chord@50. Writes ``BENCH_parallel.json`` next to this file.
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_audit import (  # noqa: E402
+    bgp_scenario, chord_scenario, hadoop_scenario,
+)
+
+from repro.snp import QueryProcessor  # noqa: E402
+
+OUT_PATH = Path(__file__).parent / "BENCH_parallel.json"
+
+WORKER_COUNTS = (1, 2, 4, 8)
+
+# The paper's assumed 10 Mbps query download link; the RTT places the
+# auditor across a WAN (full) or a regional link (smoke — CI machines
+# should not spend minutes sleeping).
+BANDWIDTH_BYTES_PER_S = 10e6 / 8
+FULL_RTT_S = 0.25
+SMOKE_RTT_S = 0.1
+
+
+def _fingerprint(result):
+    """Order-independent digest of a query result's observable output."""
+    return {
+        "vertices": sorted(
+            (str(vertex.key()), vertex.color)
+            for vertex in result.graph.vertices()
+        ),
+        "faulty_nodes": [str(n) for n in result.faulty_nodes()],
+    }
+
+
+def _round_speedups(walls):
+    base = walls[WORKER_COUNTS[0]]
+    return {
+        str(w): round(base / walls[w], 3) if walls[w] > 0 else float("inf")
+        for w in WORKER_COUNTS[1:]
+    }
+
+
+def run_scenario(name, dep, query, run_further, rtt_seconds):
+    dep.set_query_transport(rtt_seconds=rtt_seconds,
+                            bandwidth_bytes_per_s=BANDWIDTH_BYTES_PER_S)
+    processors = {}
+    cold = {}
+    cold_walls = {}
+    cold_prints = {}
+    for workers in WORKER_COUNTS:
+        qp = QueryProcessor(dep, executor=workers)
+        processors[workers] = qp
+        started = time.perf_counter()
+        qp.prefetch()
+        result = query(qp)
+        wall = time.perf_counter() - started
+        cold_walls[workers] = wall
+        cold_prints[workers] = _fingerprint(result)
+        cold[str(workers)] = {
+            "wall_seconds": round(wall, 4),
+            "counters": qp.mq.stats.counters(),
+        }
+
+    run_further()
+
+    refresh = {}
+    refresh_walls = {}
+    refresh_prints = {}
+    for workers in WORKER_COUNTS:
+        qp = processors[workers]
+        before = qp.mq.stats.copy()
+        started = time.perf_counter()
+        qp.refresh()
+        wall = time.perf_counter() - started
+        result = query(qp)
+        refresh_walls[workers] = wall
+        refresh_prints[workers] = _fingerprint(result)
+        refresh[str(workers)] = {
+            "wall_seconds": round(wall, 4),
+            "counters": qp.mq.stats.delta_since(before).counters(),
+        }
+        qp.close()
+
+    base = WORKER_COUNTS[0]
+    results_match = all(
+        cold_prints[w] == cold_prints[base]
+        and cold[str(w)]["counters"] == cold[str(base)]["counters"]
+        and refresh_prints[w] == refresh_prints[base]
+        and refresh[str(w)]["counters"] == refresh[str(base)]["counters"]
+        for w in WORKER_COUNTS
+    )
+    entry = {
+        "cold": cold,
+        "refresh": refresh,
+        "speedup_cold": _round_speedups(cold_walls),
+        "speedup_refresh": _round_speedups(refresh_walls),
+        "results_match": results_match,
+    }
+    print(f"{name:>14}  cold {cold_walls[1]:6.2f}s → "
+          f"{cold_walls[4]:6.2f}s @4w ({entry['speedup_cold']['4']}x)   "
+          f"refresh {refresh_walls[1]:6.3f}s → {refresh_walls[4]:6.3f}s "
+          f"@4w ({entry['speedup_refresh']['4']}x)   "
+          f"match={results_match}")
+    return entry
+
+
+def check(name, entry, require_2x_cold=False):
+    # Explicit raises, not asserts: this is CI's acceptance gate and must
+    # survive `python -O`.
+    if not entry["results_match"]:
+        raise SystemExit(
+            f"{name}: parallel and serial builds disagree on query "
+            "results or merged counters"
+        )
+    if require_2x_cold and entry["speedup_cold"]["4"] < 2.0:
+        raise SystemExit(
+            f"{name}: cold speedup at 4 workers is "
+            f"{entry['speedup_cold']['4']}x, below the 2x target"
+        )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny sizes + short RTT for CI; still "
+                             "enforces parallel ≡ serial")
+    parser.add_argument("--out", type=Path, default=OUT_PATH)
+    args = parser.parse_args(argv)
+
+    rtt = SMOKE_RTT_S if args.smoke else FULL_RTT_S
+    if args.smoke:
+        builders = [
+            chord_scenario(n_nodes=10, rounds=2, lookups=2),
+            bgp_scenario(n_updates=24, extra_prefixes=1),
+            hadoop_scenario(n_words=300),
+        ]
+    else:
+        builders = [
+            chord_scenario(n_nodes=50, rounds=3, lookups=8),
+            bgp_scenario(n_updates=120, extra_prefixes=2),
+            hadoop_scenario(n_words=1200),
+        ]
+
+    scenarios = {}
+    for name, dep, query, run_further in builders:
+        entry = run_scenario(name, dep, query, run_further, rtt)
+        check(name, entry,
+              require_2x_cold=(not args.smoke and name.startswith("chord")))
+        scenarios[name] = entry
+
+    payload = {
+        "benchmark": "parallel",
+        "smoke": args.smoke,
+        "workers": list(WORKER_COUNTS),
+        "transport": {
+            "rtt_seconds": rtt,
+            "bandwidth_bytes_per_s": BANDWIDTH_BYTES_PER_S,
+        },
+        "scenarios": scenarios,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -213,9 +213,20 @@ class CpuReport:
 
 
 class QueryStats:
-    """Per-query cost accounting (Figure 8)."""
+    """Per-query cost accounting (Figure 8).
+
+    Parallel view builds give every worker its own QueryStats, merged into
+    the querier's via the field-generic :meth:`merge` in canonical node
+    order — integer counters are therefore *identical* across worker
+    counts, while the wall-clock fields in :data:`TIMING_FIELDS` are
+    nondeterministic (they time real execution) and are excluded from
+    equivalence checks via :meth:`counters`.
+    """
 
     DOWNLOAD_BANDWIDTH_BPS = 10e6 / 8  # paper assumes a 10 Mbps download
+
+    #: Fields measuring elapsed wall-clock rather than deterministic work.
+    TIMING_FIELDS = ("auth_check_seconds", "replay_seconds")
 
     def __init__(self):
         self.log_bytes = 0
@@ -263,6 +274,27 @@ class QueryStats:
         for field, value in vars(self).items():
             setattr(delta, field, value - getattr(before, field, 0))
         return delta
+
+    @classmethod
+    def merged(cls, parts):
+        """Fold an ordered iterable of QueryStats into a fresh one.
+
+        The caller fixes the order (canonical node order for per-worker
+        stats), which pins down float summation so repeated merges of the
+        same parts are bit-identical.
+        """
+        total = cls()
+        for part in parts:
+            total.merge(part)
+        return total
+
+    def counters(self):
+        """The deterministic (non-timing) fields, as a dict — the
+        projection over which parallel ≡ serial equivalence holds."""
+        return {
+            field: value for field, value in vars(self).items()
+            if field not in self.TIMING_FIELDS
+        }
 
     def as_dict(self):
         return dict(vars(self))

@@ -156,10 +156,10 @@ class SilentNode(SNooPyNode):
             return None
         return super().head_authenticator()
 
-    def authenticators_about(self, peer):
+    def authenticators_about(self, peer, since=0):
         if self.refuse_consistency:
             return []
-        return super().authenticators_about(peer)
+        return super().authenticators_about(peer, since=since)
 
 
 class InputLiarNode(SNooPyNode):

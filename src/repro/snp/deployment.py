@@ -37,6 +37,33 @@ class Maintainer:
         return out
 
 
+class QueryTransport:
+    """A latency/bandwidth model for the *querier's* network.
+
+    The simulator delivers retrieve responses instantly, but the paper's
+    query-cost model (Figure 8) assumes each log segment is downloaded
+    over a real link (10 Mbps in the paper). When a transport is
+    configured, the microquery module sleeps ``transfer_seconds`` on the
+    worker thread that fetched each response — which is what makes
+    per-node view builds worth parallelizing: concurrent fetches overlap
+    their download time exactly as concurrent TCP streams would.
+    """
+
+    def __init__(self, rtt_seconds=0.0, bandwidth_bytes_per_s=None):
+        self.rtt_seconds = rtt_seconds
+        self.bandwidth_bytes_per_s = bandwidth_bytes_per_s
+
+    def transfer_seconds(self, nbytes):
+        seconds = self.rtt_seconds
+        if self.bandwidth_bytes_per_s:
+            seconds += nbytes / self.bandwidth_bytes_per_s
+        return seconds
+
+    def __repr__(self):
+        return (f"QueryTransport(rtt={self.rtt_seconds:g}s, "
+                f"bw={self.bandwidth_bytes_per_s!r} B/s)")
+
+
 class Deployment:
     def __init__(self, seed=0, t_prop=0.05, delta_clock=0.01, key_bits=256,
                  t_batch=0.0, drop_wires_to=()):
@@ -47,6 +74,9 @@ class Deployment:
         self.t_batch = t_batch
         self.maintainer = Maintainer()
         self.traffic = TrafficMeter()
+        #: Optional :class:`QueryTransport` applied to querier-side log
+        #: fetches (None = instantaneous, the historical behavior).
+        self.query_transport = None
         self.nodes = {}
         self.app_factories = {}
         self._identities = {}
@@ -195,12 +225,41 @@ class Deployment:
         from repro.snp.snoopy import suffix_of_response
         return suffix_of_response(best, since_index)
 
+    def set_query_transport(self, rtt_seconds=0.0, bandwidth_bytes_per_s=None):
+        """Configure (or, with defaults, clear) the querier-side network
+        model. Returns the :class:`QueryTransport` installed."""
+        if rtt_seconds == 0.0 and not bandwidth_bytes_per_s:
+            self.query_transport = None
+        else:
+            self.query_transport = QueryTransport(
+                rtt_seconds, bandwidth_bytes_per_s
+            )
+        return self.query_transport
+
     def collect_authenticators_about(self, target):
         """Ask every node for authenticators signed by *target* — the
         querier side of the consistency check (Section 5.5)."""
+        return self.collect_authenticators_about_since(target, None)[0]
+
+    def collect_authenticators_about_since(self, target, cursor):
+        """Cursored consistency-check collection.
+
+        *cursor* maps peer id → how many of that peer's received
+        authenticators about *target* were already scanned; only the
+        entries past each peer's cursor are returned, so a standing
+        querier's refresh cost is proportional to *new* evidence instead
+        of every peer's entire history (a peer's ``received_auths`` list
+        is append-only, making the count a stable cursor). Returns
+        ``(auths, new_cursor)``; pass ``None`` (or ``{}``) to scan from
+        the beginning.
+        """
+        cursor = dict(cursor) if cursor else {}
         out = []
         for node in self.nodes.values():
             if node.node_id == target:
                 continue
-            out.extend(node.authenticators_about(target))
-        return out
+            since = cursor.get(node.node_id, 0)
+            fresh = node.authenticators_about(target, since=since)
+            out.extend(fresh)
+            cursor[node.node_id] = since + len(fresh)
+        return out, cursor

@@ -1,0 +1,98 @@
+"""Executors for per-node view-build work (see DESIGN.md, "Parallel view
+builds").
+
+The microquery module splits a view build into a *node-local* phase that
+touches no querier-shared state (retrieve, hash-chain and signature
+verification, consistency check, replay) and a *merge* phase that runs on
+the calling thread in canonical node order. An executor only decides how
+the node-local tasks are scheduled:
+
+* :class:`SerialExecutor` — runs tasks inline, one at a time, in the order
+  given. The default; also the fallback for ``workers <= 1``.
+* :class:`ThreadedExecutor` — runs tasks on a persistent thread pool.
+  Task *results* still come back aligned with the submission order, so the
+  merge phase (and therefore every observable query result and counter) is
+  identical to the serial executor's by construction.
+
+``make_executor`` turns the user-facing spec (``None``, an int worker
+count, ``"serial"``, ``"thread:4"``, or an executor instance) into an
+executor object.
+"""
+
+from concurrent.futures import ThreadPoolExecutor
+
+
+class SerialExecutor:
+    """Run view-build tasks inline on the calling thread."""
+
+    workers = 1
+
+    def run(self, tasks):
+        """Run zero-arg *tasks*; returns their results in task order."""
+        return [task() for task in tasks]
+
+    def close(self):
+        pass
+
+    def __repr__(self):
+        return "SerialExecutor()"
+
+
+class ThreadedExecutor:
+    """Run view-build tasks on a persistent thread pool.
+
+    The pool is created lazily on first use and reused across batches, so
+    repeated refreshes do not pay thread start-up per call. ``close()``
+    shuts the pool down; an unclosed executor's threads are reclaimed at
+    interpreter shutdown like any ThreadPoolExecutor's.
+    """
+
+    def __init__(self, workers):
+        if workers < 1:
+            raise ValueError(f"worker count must be >= 1, got {workers}")
+        self.workers = workers
+        self._pool = None
+
+    def run(self, tasks):
+        """Run zero-arg *tasks* concurrently; results in task order."""
+        if len(tasks) <= 1:
+            return [task() for task in tasks]
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="view-build",
+            )
+        return list(self._pool.map(lambda task: task(), tasks))
+
+    def close(self):
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __repr__(self):
+        return f"ThreadedExecutor(workers={self.workers})"
+
+
+def make_executor(spec=None):
+    """Resolve an executor spec to an executor instance.
+
+    ``None`` or ``"serial"`` → :class:`SerialExecutor`; an int ``n`` →
+    serial for ``n == 1``, ``ThreadedExecutor(n)`` for ``n > 1``
+    (``n < 1`` is an error); ``"thread:N"`` → ``ThreadedExecutor(N)``;
+    an object with a ``run`` method passes through unchanged.
+    """
+    if spec is None or spec == "serial":
+        return SerialExecutor()
+    if isinstance(spec, bool):
+        raise ValueError("executor spec must not be a bool")
+    if isinstance(spec, int):
+        if spec < 1:
+            raise ValueError(f"worker count must be >= 1, got {spec}")
+        return ThreadedExecutor(spec) if spec > 1 else SerialExecutor()
+    if isinstance(spec, str):
+        if spec.startswith("thread:"):
+            return make_executor(int(spec.split(":", 1)[1]))
+        raise ValueError(f"unknown executor spec {spec!r}")
+    if hasattr(spec, "run"):
+        return spec
+    raise ValueError(f"cannot build an executor from {spec!r}")

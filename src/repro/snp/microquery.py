@@ -24,14 +24,27 @@ index + chain hash) and retains the replay machinery, so
 and replaying only the log suffix appended since — a node whose returned
 suffix does not continue the verified chain has provably forked its log
 (see DESIGN.md, "Audit path").
+
+Builds are *batched*: the per-node retrieve→verify→replay pipeline touches
+no querier-shared state, so :meth:`MicroQuerier.build_views` (and a batch
+:meth:`refresh`) schedule it per node onto a configurable executor
+(:mod:`repro.snp.executor`). Each node-local task runs against its own
+:class:`~repro.metrics.QueryStats`; the querier-shared state — the evidence
+store, the per-node checked-authenticator memos, the consistency cursors,
+the view cache and the merged stats — is only touched afterwards, on the
+calling thread, in canonical (sorted) node order. Parallel and serial
+executors therefore produce bit-identical views, colors and counters (see
+DESIGN.md, "Parallel view builds").
 """
 
+import threading
 import time
 
 from repro.metrics import QueryStats
 from repro.snp.evidence import (
     EvidenceStore, verify_authenticator, AUTHENTICATOR_BYTES,
 )
+from repro.snp.executor import make_executor
 from repro.snp.log import RCV, ACK
 from repro.snp.replay import (
     check_against_authenticator, extend_replay, replay_segment,
@@ -93,14 +106,83 @@ class MicroResult:
         return self.colors[-1]
 
 
+class _BuildOutcome:
+    """What one node-local build/extend task hands back for finalizing.
+
+    Owned by exactly one worker during the node-local phase; after the
+    executor returns it, ownership passes to the calling thread. ``kind``:
+
+    * ``final`` — ``view`` is already decided (unreachable, proven
+      faulty, or a kept stale view); nothing left but to commit it;
+    * ``built`` — a full build verified and replayed node-locally; the
+      ``ok`` view is created during finalize, after the deferred
+      evidence-store checks;
+    * ``extended`` — an ``ok`` view (``base_view``) was advanced by a
+      verified delta; finalize runs the evidence checks, then commits the
+      new head and harvests.
+    """
+
+    __slots__ = ("node", "kind", "view", "base_view", "response", "hashes",
+                 "stats", "checked", "cursor", "from_mirror",
+                 "replay_result", "reset_memo", "evidence_prefix",
+                 "replay_mutated")
+
+    def __init__(self, node, kind, stats):
+        self.node = node
+        self.kind = kind
+        self.stats = stats
+        self.view = None
+        self.base_view = None
+        self.response = None
+        self.hashes = None
+        self.checked = set()
+        self.cursor = None
+        self.from_mirror = False
+        self.replay_result = None
+        self.reset_memo = False
+        #: How many of this node's evidence-store entries the node-local
+        #: phase already checked (the store is frozen while workers run);
+        #: finalize checks only the tail harvested later in the batch.
+        self.evidence_prefix = 0
+        #: Whether a cached view's retained replay was advanced — a view
+        #: kept on a failure path must then not stay extendable.
+        self.replay_mutated = False
+
+    def finalized(self, view):
+        self.kind = "final"
+        self.view = view
+        return self
+
+
+class _WorkerVerifier:
+    """A keypair-less stand-in for the querier identity on worker threads.
+
+    ``verify_authenticator`` only needs ``verify(public_key, payload,
+    signature)`` plus the per-verifier op counter; generating an RSA
+    keypair and CA certificate per thread would be pure startup waste.
+    """
+
+    __slots__ = ("counter",)
+
+    def __init__(self):
+        from repro.crypto.keys import CryptoCounter
+        self.counter = CryptoCounter()
+
+    def verify(self, public_key, payload, signature):
+        from repro.util.serialization import canonical_bytes
+        self.counter.note_verify()
+        return public_key.verify(canonical_bytes(payload), signature)
+
+
 class MicroQuerier:
     def __init__(self, deployment, use_checkpoints=False,
                  verify_embedded_signatures=True,
-                 run_consistency_check=True):
+                 run_consistency_check=True, executor=None):
         self.deployment = deployment
         self.use_checkpoints = use_checkpoints
         self.verify_embedded_signatures = verify_embedded_signatures
         self.run_consistency_check = run_consistency_check
+        self.executor = make_executor(executor)
         self.evidence = EvidenceStore()
         self.stats = QueryStats()
         self._views = {}
@@ -111,13 +193,29 @@ class MicroQuerier:
         # Reset whenever trust in the chain is (re)established from
         # scratch (full rebuild, invalidate).
         self._checked_auths = {}
+        # Per-node consistency-check cursors: how much of each peer's
+        # received_auths was already scanned for evidence about the node
+        # (see Deployment.collect_authenticators_about_since). Reset in
+        # lockstep with the memo above.
+        self._consistency_cursors = {}
         # The querier needs its own identity only for verification calls;
         # reuse a lightweight one so crypto ops are counted separately.
+        # Worker threads lazily get identities of their own — signature
+        # verification itself is pure, but the identity tallies a counter.
         from repro.crypto.keys import NodeIdentity
         self._querier_identity = NodeIdentity(
             "__querier__", deployment.ca, key_bits=deployment.key_bits,
             seed=0x51,
         )
+        self._verifier_local = threading.local()
+        self._verifier_local.identity = self._querier_identity
+
+    def close(self):
+        """Release the executor's worker threads (serial: a no-op).
+        Pass-through executors only need ``run``; ``close`` is optional."""
+        close = getattr(self.executor, "close", None)
+        if close is not None:
+            close()
 
     # ------------------------------------------------------------- views
 
@@ -127,9 +225,31 @@ class MicroQuerier:
         if cached is not None:
             self.stats.cache_hits += 1
             return cached
-        view = self._build_view(node_id)
-        self._views[node_id] = view
-        return view
+        return self.build_views((node_id,))[node_id]
+
+    def build_views(self, node_ids):
+        """Ensure views exist for *node_ids*; returns ``{node_id: view}``.
+
+        Missing views are built through the executor: the node-local
+        pipeline runs per node (possibly concurrently), then results are
+        finalized on this thread in canonical node order — so the evidence
+        a node's chain is checked against is exactly what a serial build
+        of the same batch, in the same canonical order, would have
+        accumulated before reaching it.
+        """
+        wanted, seen = [], set()
+        for node_id in node_ids:
+            if node_id not in seen:
+                seen.add(node_id)
+                wanted.append(node_id)
+        missing = sorted((n for n in wanted if n not in self._views),
+                         key=str)
+        if missing:
+            self._run_batch(
+                missing,
+                [self._full_build_task(node_id) for node_id in missing],
+            )
+        return {node_id: self._views[node_id] for node_id in wanted}
 
     def invalidate(self, node_id=None):
         """Drop cached views (forces a full rebuild; prefer :meth:`refresh`
@@ -138,9 +258,11 @@ class MicroQuerier:
         if node_id is None:
             self._views.clear()
             self._checked_auths.clear()
+            self._consistency_cursors.clear()
         else:
             self._views.pop(node_id, None)
             self._checked_auths.pop(node_id, None)
+            self._consistency_cursors.pop(node_id, None)
 
     def refresh(self, node_id=None):
         """Advance cached views to the deployment's current log heads.
@@ -157,28 +279,76 @@ class MicroQuerier:
         * ``unreachable`` — a full build is retried (the node may have
           come back).
 
-        With ``node_id=None`` every cached view is refreshed; a single
-        refreshed view is returned otherwise.
+        With ``node_id=None`` every cached view is refreshed — the
+        per-node work going through the executor as one batch — and
+        ``None`` is returned; a single refreshed view is returned
+        otherwise.
         """
         if node_id is None:
-            for known in sorted(self._views, key=str):
-                self.refresh(known)
+            self._refresh_batch(sorted(self._views, key=str))
             return None
         view = self._views.get(node_id)
         if view is None:
             return self.view_of(node_id)
-        self.stats.refreshes += 1
-        if view.status == PROVEN_FAULTY:
-            return view
-        if view.status == OK:
-            view = self._extend_view(node_id, view)
-        else:
-            view = self._build_view(node_id)
-        self._views[node_id] = view
-        return view
+        self._refresh_batch((node_id,))
+        return self._views[node_id]
 
-    def _extend_view(self, node_id, view):
-        """Extend an ``ok`` view by its host's log suffix (or a mirror's)."""
+    def _refresh_batch(self, node_ids):
+        batched, tasks = [], []
+        for node_id in node_ids:
+            view = self._views[node_id]
+            self.stats.refreshes += 1
+            if view.status == PROVEN_FAULTY:
+                continue  # kept: signed proof does not expire
+            batched.append(node_id)
+            if view.status == OK:
+                tasks.append(self._extend_task(node_id, view))
+            else:
+                tasks.append(self._full_build_task(node_id))
+        self._run_batch(batched, tasks)
+
+    def _run_batch(self, node_ids, tasks):
+        """Run one batch of build/extend tasks and finalize each outcome.
+
+        Expected fault conditions never escape a task (they become
+        verdicts); if something *unexpected* does, the batch aborts —
+        and any member not yet finalized may hold a cached view whose
+        retained replay a worker already advanced past its committed
+        head. Such views must not survive (a later refresh would replay
+        the same suffix twice), so every un-finalized member is
+        invalidated before the error propagates.
+        """
+        finalized = set()
+        try:
+            for outcome in self.executor.run(tasks):
+                self._views[outcome.node] = self._finalize(outcome)
+                finalized.add(outcome.node)
+        except BaseException:
+            for node_id in node_ids:
+                if node_id not in finalized:
+                    self.invalidate(node_id)
+            raise
+
+    def _full_build_task(self, node_id):
+        def task():
+            return self._build_phase_a(node_id, QueryStats())
+        return task
+
+    def _extend_task(self, node_id, view):
+        def task():
+            return self._extend_phase_a(node_id, view, QueryStats())
+        return task
+
+    # ------------------------------------------- node-local phase (workers)
+
+    def _extend_phase_a(self, node_id, view, stats):
+        """Extend an ``ok`` view by its host's log suffix (or a mirror's).
+
+        Node-local only: reads the deployment and this node's own memo
+        snapshot, writes nothing shared. May mutate *view*'s retained
+        replay (this task owns the view until finalize commits or
+        discards it).
+        """
         node = self.deployment.nodes.get(node_id)
         response = None
         if node is not None:
@@ -191,8 +361,11 @@ class MicroQuerier:
             from_mirror = response is not None
             if from_mirror:
                 response.from_mirror = True
+        outcome = _BuildOutcome(node_id, "extended", stats)
         if response is None:
-            return view  # unreachable: the stale view stays verified
+            # unreachable: the stale view stays verified
+            return outcome.finalized(view)
+        self._simulate_transfer(response)
         if response.start_index != view.head_index + 1:
             # The responder did not (or could not) anchor at our head —
             # e.g. a log shorter than the verified head, or a replica that
@@ -204,12 +377,14 @@ class MicroQuerier:
             # preferred, in which case the discarded transfer still
             # happened and must be accounted.
             if self.use_checkpoints and not from_mirror:
-                self._account_response(response)
-                return self._build_view(node_id)
-            return self._build_view(node_id, response=response,
-                                    from_mirror=from_mirror)
-        self.stats.delta_fetches += 1
-        self._account_response(response)
+                self._account_response(response, stats)
+                return self._build_phase_a(node_id, stats)
+            return self._build_phase_a(node_id, stats, response=response,
+                                       from_mirror=from_mirror)
+        outcome.base_view = view
+        outcome.from_mirror = from_mirror
+        stats.delta_fetches += 1
+        self._account_response(response, stats)
 
         started = time.perf_counter()
         try:
@@ -219,43 +394,52 @@ class MicroQuerier:
                     f"suffix after entry {view.head_index} does not "
                     "continue the verified chain (fork after cached head)",
                 )
-            hashes = self._verify_response(node_id, response)
+            hashes, cursor = self._verify_response_local(
+                node_id, response, outcome,
+                known=self._checked_auths.get(node_id, frozenset()),
+                base_cursor=self._consistency_cursors.get(node_id),
+            )
         except (LogVerificationError, AuthenticationError) as exc:
-            self.stats.auth_check_seconds += time.perf_counter() - started
+            stats.auth_check_seconds += time.perf_counter() - started
             if from_mirror:
                 # A corrupt replica cannot frame the origin; the origin is
                 # merely unreachable right now, so the view stays stale.
-                return view
-            return NodeView(node_id, PROVEN_FAULTY,
-                            verdict_reason=str(exc))
-        self.stats.auth_check_seconds += time.perf_counter() - started
+                return outcome.finalized(view)
+            return outcome.finalized(
+                NodeView(node_id, PROVEN_FAULTY, verdict_reason=str(exc))
+            )
+        stats.auth_check_seconds += time.perf_counter() - started
+        outcome.response = response
+        outcome.hashes = hashes
+        outcome.cursor = cursor
 
         if not response.entries:
             # Nothing appended; the fresh head authenticator was checked
-            # against the cached head hash above, confirming no fork.
-            return view
+            # against the cached head hash above, confirming no fork. The
+            # deferred evidence checks still run at finalize.
+            return outcome
         alarms = self.deployment.maintainer.alarmed_msg_ids()
-        processed, elapsed, failure = extend_replay(
-            node_id, view.replay, response, known_alarm_msg_ids=alarms
+        outcome.replay_mutated = True
+        _processed, _elapsed, failure = extend_replay(
+            node_id, view.replay, response, known_alarm_msg_ids=alarms,
+            stats=stats,
         )
-        self.stats.replay_seconds += elapsed
-        self.stats.events_replayed += processed
         if failure is not None:
-            return NodeView(node_id, PROVEN_FAULTY,
-                            verdict_reason=str(failure), replay=view.replay)
-        self._harvest_evidence(response)
-        view.head_index = response.start_index + len(response.entries) - 1
-        view.head_hash = hashes[-1]
-        view.head_time = response.entries[-1].timestamp
-        view.log_len = view.head_index
-        return view
+            return outcome.finalized(
+                NodeView(node_id, PROVEN_FAULTY,
+                         verdict_reason=str(failure), replay=view.replay)
+            )
+        return outcome
 
-    def _build_view(self, node_id, response=None, from_mirror=False):
-        """Build a view from scratch. *response* short-circuits retrieval
-        when the caller already holds a full response (the refresh
-        fallback path) — trust in the chain is established from zero
-        either way, so previously memoized evidence checks are dropped."""
-        self._checked_auths.pop(node_id, None)
+    def _build_phase_a(self, node_id, stats, response=None,
+                       from_mirror=False):
+        """Build a view from scratch, node-locally. *response*
+        short-circuits retrieval when the caller already holds a full
+        response (the refresh fallback path) — trust in the chain is
+        established from zero either way, so the memoized evidence checks
+        and the consistency cursor are dropped at finalize."""
+        outcome = _BuildOutcome(node_id, "built", stats)
+        outcome.reset_memo = True
         node = self.deployment.nodes.get(node_id)
         if response is None:
             if node is not None:
@@ -269,63 +453,79 @@ class MicroQuerier:
                 from_mirror = response is not None
                 if from_mirror:
                     response.from_mirror = True
+            if response is not None:
+                self._simulate_transfer(response)
         if response is None:
-            return NodeView(node_id, UNREACHABLE,
-                            verdict_reason="no response to retrieve")
-        self._account_response(response)
+            return outcome.finalized(
+                NodeView(node_id, UNREACHABLE,
+                         verdict_reason="no response to retrieve")
+            )
+        outcome.from_mirror = from_mirror
+        self._account_response(response, stats)
         if response.checkpoint is not None:
-            self.stats.checkpoint_bytes += response.checkpoint.size_bytes()
-            self.stats.checkpoint_bytes += self._snapshot_size(
+            stats.checkpoint_bytes += response.checkpoint.size_bytes()
+            stats.checkpoint_bytes += self._snapshot_size(
                 response.checkpoint
             )
 
         started = time.perf_counter()
         try:
-            hashes = self._verify_response(node_id, response)
+            hashes, cursor = self._verify_response_local(
+                node_id, response, outcome,
+                known=frozenset(), base_cursor=None,
+            )
         except (LogVerificationError, AuthenticationError) as exc:
-            self.stats.auth_check_seconds += time.perf_counter() - started
+            stats.auth_check_seconds += time.perf_counter() - started
             if from_mirror:
                 # A corrupt *mirror* is not evidence against the origin —
                 # the replica may be the liar. The origin merely remains
                 # unreachable (its vertices stay yellow).
-                return NodeView(node_id, UNREACHABLE,
-                                verdict_reason=f"bad mirror: {exc}")
-            return NodeView(node_id, PROVEN_FAULTY,
-                            verdict_reason=str(exc))
-        self.stats.auth_check_seconds += time.perf_counter() - started
+                return outcome.finalized(
+                    NodeView(node_id, UNREACHABLE,
+                             verdict_reason=f"bad mirror: {exc}")
+                )
+            return outcome.finalized(
+                NodeView(node_id, PROVEN_FAULTY, verdict_reason=str(exc))
+            )
+        stats.auth_check_seconds += time.perf_counter() - started
 
         alarms = self.deployment.maintainer.alarmed_msg_ids()
         result = replay_segment(
             node_id, response, self.deployment.app_factories[node_id],
             t_prop=self.deployment.effective_t_prop(),
-            known_alarm_msg_ids=alarms,
+            known_alarm_msg_ids=alarms, stats=stats,
         )
-        self.stats.replay_seconds += result.replay_seconds
-        self.stats.events_replayed += result.events_replayed
         if not result.ok:
-            return NodeView(node_id, PROVEN_FAULTY,
-                            verdict_reason=str(result.failure),
-                            replay=result)
-        self._harvest_evidence(response)
-        end_index = response.start_index + len(response.entries) - 1
-        head_hash = hashes[-1] if hashes else response.start_hash
-        if response.entries:
-            head_time = response.entries[-1].timestamp
-        elif response.checkpoint is not None:
-            head_time = response.checkpoint.timestamp
-        else:
-            head_time = float("-inf")
-        return NodeView(node_id, OK, graph=result.graph, log_len=end_index,
-                        replay=result, head_index=end_index,
-                        head_hash=head_hash, head_time=head_time)
+            return outcome.finalized(
+                NodeView(node_id, PROVEN_FAULTY,
+                         verdict_reason=str(result.failure), replay=result)
+            )
+        outcome.response = response
+        outcome.hashes = hashes
+        outcome.cursor = cursor
+        outcome.replay_result = result
+        return outcome
 
-    def _account_response(self, response):
-        """Charge one retrieved segment's transfer to the stats — the
+    def _simulate_transfer(self, response):
+        """Model the download of one retrieved segment when the deployment
+        configures a query transport — slept on the fetching worker's
+        thread, which is precisely the cost parallel builds overlap."""
+        transport = self.deployment.query_transport
+        if transport is None:
+            return
+        nbytes = sum(e.size_bytes() for e in response.entries)
+        nbytes += AUTHENTICATOR_BYTES
+        if response.checkpoint is not None:
+            nbytes += response.checkpoint.size_bytes()
+        time.sleep(transport.transfer_seconds(nbytes))
+
+    def _account_response(self, response, stats):
+        """Charge one retrieved segment's transfer to *stats* — the
         single place download accounting happens, so full, delta and
         discarded-fallback fetches stay in lockstep."""
-        self.stats.logs_fetched += 1
-        self.stats.log_bytes += sum(e.size_bytes() for e in response.entries)
-        self.stats.authenticator_bytes += AUTHENTICATOR_BYTES
+        stats.logs_fetched += 1
+        stats.log_bytes += sum(e.size_bytes() for e in response.entries)
+        stats.authenticator_bytes += AUTHENTICATOR_BYTES
 
     def _snapshot_size(self, chk_entry):
         try:
@@ -335,66 +535,188 @@ class MicroQuerier:
         except Exception:
             return 0
 
+    # ------------------------------------------- finalize (calling thread)
+
+    def _finalize(self, outcome):
+        """Commit one node-local outcome against the querier-shared state.
+
+        Runs on the calling thread, invoked in canonical node order over
+        a batch: merges the worker's stats, replays the deferred
+        evidence-store checks against everything harvested from nodes
+        earlier in the order, then harvests this node's evidence — the
+        exact sequence a serial build of the batch would follow.
+        """
+        node_id = outcome.node
+        self.stats.merge(outcome.stats)
+        if outcome.reset_memo:
+            self._checked_auths.pop(node_id, None)
+            self._consistency_cursors.pop(node_id, None)
+        if outcome.kind == "final":
+            return outcome.view
+        try:
+            self._check_harvested_evidence(outcome)
+        except LogVerificationError as exc:
+            if outcome.from_mirror:
+                if outcome.kind == "built":
+                    return NodeView(node_id, UNREACHABLE,
+                                    verdict_reason=f"bad mirror: {exc}")
+                if outcome.replay_mutated:
+                    # The kept view's retained replay was already advanced
+                    # past its committed head — it must not stay
+                    # extendable (a later refresh would replay the same
+                    # suffix twice). Rebuild trust from scratch instead;
+                    # this tail-of-batch case is rare (pre-batch evidence
+                    # was checked before replay, node-locally).
+                    return self._finalize(
+                        self._build_phase_a(node_id, QueryStats())
+                    )
+                return outcome.base_view  # stale but verified view kept
+            return NodeView(node_id, PROVEN_FAULTY,
+                            verdict_reason=str(exc))
+        if outcome.checked:
+            self._checked_auths.setdefault(node_id, set()).update(
+                outcome.checked
+            )
+        if outcome.cursor is not None:
+            self._consistency_cursors[node_id] = outcome.cursor
+
+        response = outcome.response
+        if outcome.kind == "built":
+            self._harvest_evidence(response)
+            result = outcome.replay_result
+            end_index = response.start_index + len(response.entries) - 1
+            head_hash = (outcome.hashes[-1] if outcome.hashes
+                         else response.start_hash)
+            if response.entries:
+                head_time = response.entries[-1].timestamp
+            elif response.checkpoint is not None:
+                head_time = response.checkpoint.timestamp
+            else:
+                head_time = float("-inf")
+            return NodeView(node_id, OK, graph=result.graph,
+                            log_len=end_index, replay=result,
+                            head_index=end_index, head_hash=head_hash,
+                            head_time=head_time)
+        view = outcome.base_view
+        if response.entries:
+            self._harvest_evidence(response)
+            view.head_index = response.start_index + len(response.entries) - 1
+            view.head_hash = outcome.hashes[-1]
+            view.head_time = response.entries[-1].timestamp
+            view.log_len = view.head_index
+        return view
+
+    def _check_harvested_evidence(self, outcome):
+        """The within-batch tail of the evidence-store checks.
+
+        The node-local phase already checked the evidence held when the
+        batch started (``outcome.evidence_prefix`` entries, before paying
+        for replay — the store's per-node lists are append-only and
+        frozen while workers run); what remains is whatever finalizing
+        *earlier* nodes of this batch harvested since. Raises
+        LogVerificationError on mismatch — *proof* of a fork or rewrite.
+        """
+        node_id = outcome.node
+        known = self._checked_auths.get(node_id, frozenset())
+        started = time.perf_counter()
+        try:
+            held = self.evidence.for_node(node_id)
+            for auth in held[outcome.evidence_prefix:]:
+                sig = bytes(auth.signature)
+                if sig in known or sig in outcome.checked:
+                    continue
+                check_against_authenticator(outcome.response, outcome.hashes,
+                                            auth, self.stats)
+                self._note_checked(outcome.checked, outcome.response, auth)
+        finally:
+            self.stats.auth_check_seconds += time.perf_counter() - started
+
     # -------------------------------------------------------- verification
 
-    def _verify_auth(self, public_key, auth):
-        """Signature check with accounting (Figure 8's verification cost)."""
-        self.stats.signatures_verified += 1
-        verify_authenticator(self._querier_identity, public_key, auth)
+    def _thread_verifier(self):
+        """The verifier for the current thread (created lazily for
+        executor workers). Verification never uses the verifier's own
+        key — only its op counter must not be shared — so workers get a
+        keypair-less :class:`_WorkerVerifier` instead of paying RSA
+        keygen + certification per thread."""
+        identity = getattr(self._verifier_local, "identity", None)
+        if identity is None:
+            identity = _WorkerVerifier()
+            self._verifier_local.identity = identity
+        return identity
 
-    def _verify_response(self, node_id, response):
-        """All the checks that can *prove* the node faulty.
+    def _verify_auth(self, public_key, auth, stats):
+        """Signature check with accounting (Figure 8's verification cost)."""
+        stats.signatures_verified += 1
+        verify_authenticator(self._thread_verifier(), public_key, auth)
+
+    def _verify_response_local(self, node_id, response, outcome, known,
+                               base_cursor):
+        """The node-local checks that can *prove* the node faulty.
 
         1. The fresh head authenticator must be validly signed and match
            the recomputed hash chain.
-        2. Every evidence authenticator we hold for this node must lie on
-           the returned chain.
+        2. Every evidence authenticator the querier *already* holds for
+           this node must lie on the returned chain. The evidence store is
+           frozen while node-local tasks run (harvesting only happens at
+           finalize, after the whole batch), so this prefix is safe to
+           read concurrently; its length is recorded on the outcome and
+           finalize checks only the tail harvested later in the batch.
         3. Embedded authenticators in rcv/ack entries must carry valid
            signatures from their claimed signers (a node cannot launder a
            forged message into its log).
         4. Consistency check (Section 5.5): authenticators other nodes hold
            about this node must lie on the same chain — two signed heads
-           off-chain expose equivocation.
+           off-chain expose equivocation. Collection resumes from
+           *base_cursor*, so a refresh scans only evidence received since
+           the last pass.
 
-        Returns the recomputed chain hashes, aligned with the entries —
-        the last one is the verified head a later refresh extends from.
-        Works for full, checkpoint-anchored and delta responses alike;
-        evidence that was *never* checkable against any verified segment
-        is counted as skipped in the stats (per verification pass), while
-        evidence already verified on this same chain is memoized and not
-        re-verified, re-compared or re-counted on refresh.
+        Returns ``(hashes, cursor)``: the recomputed chain hashes aligned
+        with the entries (the last one is the verified head a later
+        refresh extends from) and the advanced consistency cursor (None
+        when the consistency check is disabled). Works for full,
+        checkpoint-anchored and delta responses alike; evidence that was
+        *never* checkable against any verified segment is counted as
+        skipped in the stats (per verification pass), while evidence
+        already verified on this same chain (*known* ∪ checked-this-pass)
+        is neither re-verified, re-compared nor re-counted.
         """
+        stats = outcome.stats
         public_key = self.deployment.public_key_of(node_id)
-        self._verify_auth(public_key, response.head_auth)
+        self._verify_auth(public_key, response.head_auth, stats)
         hashes = verify_segment_hashes(response)
         check_against_authenticator(response, hashes, response.head_auth,
-                                    self.stats)
-        for auth in self.evidence.for_node(node_id):
-            if self._already_checked(node_id, auth):
+                                    stats)
+        held = self.evidence.for_node(node_id)
+        outcome.evidence_prefix = len(held)
+        for auth in held:
+            sig = bytes(auth.signature)
+            if sig in known or sig in outcome.checked:
                 continue
-            check_against_authenticator(response, hashes, auth, self.stats)
-            self._note_checked(node_id, response, auth)
+            check_against_authenticator(response, hashes, auth, stats)
+            self._note_checked(outcome.checked, response, auth)
         if response.checkpoint is not None:
             self._verify_checkpoint(node_id, response.checkpoint)
         if self.verify_embedded_signatures:
-            self._verify_embedded(node_id, response)
+            self._verify_embedded(node_id, response, stats)
+        cursor = None
         if self.run_consistency_check:
-            self._consistency_check(node_id, response, hashes)
-        return hashes
+            cursor = self._consistency_check(node_id, response, hashes,
+                                             stats, outcome.checked, known,
+                                             base_cursor)
+        return hashes, cursor
 
-    def _already_checked(self, node_id, auth):
-        return bytes(auth.signature) in self._checked_auths.get(node_id, ())
-
-    def _note_checked(self, node_id, response, auth):
+    @staticmethod
+    def _note_checked(checked, response, auth):
         """Memoize an authenticator that was actually compared against the
         verified chain (not one merely skipped as pre-anchor): a later
-        refresh extends the same chain, so the comparison stays valid."""
+        refresh extends the same chain, so the comparison stays valid.
+        Notes land in the outcome-local set and are committed to the
+        querier's memo only when the view finalizes ``ok``."""
         first = response.start_index
         last = first + len(response.entries) - 1
         if first - 1 <= auth.index <= last:
-            self._checked_auths.setdefault(node_id, set()).add(
-                bytes(auth.signature)
-            )
+            checked.add(bytes(auth.signature))
 
     def _verify_checkpoint(self, node_id, chk_entry):
         """Verify the checkpoint's tuple lists against the Merkle roots
@@ -424,7 +746,7 @@ class MicroQuerier:
                 node_id, "checkpoint contents fail Merkle verification"
             )
 
-    def _verify_embedded(self, node_id, response):
+    def _verify_embedded(self, node_id, response, stats):
         for entry in response.entries:
             if entry.entry_type == RCV:
                 auth = entry.aux.get("batch_auth")
@@ -433,7 +755,7 @@ class MicroQuerier:
                         node_id, f"rcv entry {entry.index} lacks evidence"
                     )
                 sender_key = self.deployment.public_key_of(auth.node)
-                self._verify_auth(sender_key, auth)
+                self._verify_auth(sender_key, auth, stats)
             elif entry.entry_type == ACK:
                 wire_ack = entry.aux.get("wire_ack")
                 if wire_ack is None:
@@ -441,21 +763,28 @@ class MicroQuerier:
                         node_id, f"ack entry {entry.index} lacks evidence"
                     )
                 acker_key = self.deployment.public_key_of(wire_ack.src)
-                self._verify_auth(acker_key, wire_ack.auth)
+                self._verify_auth(acker_key, wire_ack.auth, stats)
 
-    def _consistency_check(self, node_id, response, hashes):
+    def _consistency_check(self, node_id, response, hashes, stats, checked,
+                           known, base_cursor):
         """Ask all other nodes for authenticators signed by *node_id* and
-        check each against the retrieved chain (Section 5.5)."""
+        check each against the retrieved chain (Section 5.5). Returns the
+        advanced collection cursor."""
         public_key = self.deployment.public_key_of(node_id)
-        for auth in self.deployment.collect_authenticators_about(node_id):
-            if self._already_checked(node_id, auth):
+        auths, cursor = self.deployment.collect_authenticators_about_since(
+            node_id, base_cursor
+        )
+        for auth in auths:
+            sig = bytes(auth.signature)
+            if sig in known or sig in checked:
                 continue  # verified on this same chain in an earlier pass
             try:
-                self._verify_auth(public_key, auth)
+                self._verify_auth(public_key, auth, stats)
             except AuthenticationError:
                 continue  # not actually signed by node_id; ignore
-            check_against_authenticator(response, hashes, auth, self.stats)
-            self._note_checked(node_id, response, auth)
+            check_against_authenticator(response, hashes, auth, stats)
+            self._note_checked(checked, response, auth)
+        return cursor
 
     def _harvest_evidence(self, response):
         """Collect the authenticators embedded in a verified log into the

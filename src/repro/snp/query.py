@@ -99,17 +99,45 @@ class QueryResult:
 
 
 class QueryProcessor:
-    """Evaluates macroqueries against a deployment."""
+    """Evaluates macroqueries against a deployment.
 
-    def __init__(self, deployment, use_checkpoints=False, **mq_kwargs):
+    *executor* selects how per-node view builds are scheduled (see
+    :mod:`repro.snp.executor`): ``None``/``"serial"`` builds one node at a
+    time (the default), an int ``n > 1`` builds up to n nodes' views
+    concurrently. Exploration prefetches each BFS level's unvisited hosts
+    as one batch, so a cold macroquery against a wide deployment overlaps
+    its per-node downloads; results are identical for every executor.
+    """
+
+    def __init__(self, deployment, use_checkpoints=False, executor=None,
+                 **mq_kwargs):
         self.deployment = deployment
         self.mq = MicroQuerier(deployment, use_checkpoints=use_checkpoints,
-                               **mq_kwargs)
+                               executor=executor, **mq_kwargs)
         #: Monotone view-generation counter: bumped by :meth:`refresh`, so
         #: callers can tag results with the epoch they were computed in.
         self.epoch = 0
 
+    def close(self):
+        """Release executor worker threads (serial executor: a no-op)."""
+        self.mq.close()
+
     # ------------------------------------------------------------ freshness
+
+    def prefetch(self, nodes=None):
+        """Build verified views for *nodes* (default: every deployment
+        node) as one executor batch — the standing auditor's cold start.
+
+        Exploration builds views lazily as the BFS frontier reaches new
+        hosts, which serializes fetches along chain-shaped provenance
+        (one new host per level). Prefetching instead hands the whole
+        node set to the executor at once, so a wide deployment's
+        downloads overlap; the macroquery that follows runs entirely
+        against cached views. Returns ``{node_id: view}``.
+        """
+        if nodes is None:
+            nodes = sorted(self.deployment.nodes, key=str)
+        return self.mq.build_views(nodes)
 
     def refresh(self, node_id=None):
         """Advance cached node views to the deployment's current state and
@@ -254,12 +282,25 @@ class QueryProcessor:
 
     def _explore(self, root, direction, scope, stats_before=None,
                  extra_roots=()):
+        """BFS from the root(s), one *level* at a time.
+
+        Level synchronization is what lets view builds batch: all of a
+        level's vertices are microqueried first (their hosts' views are
+        already cached — every vertex entered the level through
+        ``resolve``), the hosts of every discovered neighbor are
+        prefetched as one ``build_views`` batch, and only then are the
+        neighbors resolved and attached. The visit order, the explored
+        subgraph and the verdicts are identical to vertex-at-a-time
+        exploration; only the build scheduling changes.
+        """
         if stats_before is None:
             stats_before = _snapshot_stats(self.mq.stats)
         graph = ProvenanceGraph()
+        self.mq.build_views([root.node]
+                            + [extra.node for extra in extra_roots])
         resolved_root, _color = self.mq.resolve(root)
         graph.add_vertex(_copy_vertex(resolved_root))
-        frontier = [(resolved_root, 0)]
+        level = [resolved_root]
         visited = {resolved_root.key()}
         for extra in extra_roots:
             resolved, _c = self.mq.resolve(extra)
@@ -267,27 +308,36 @@ class QueryProcessor:
                 continue
             graph.add_vertex(_copy_vertex(resolved))
             visited.add(resolved.key())
-            frontier.append((resolved, 0))
-        while frontier:
-            vertex, depth = frontier.pop(0)
-            if scope is not None and depth >= scope:
-                continue
-            result = self.mq.microquery(vertex)
-            neighbors = (
-                result.predecessors if direction == "backward"
-                else result.successors
-            )
-            here = graph.get(vertex.key())
-            for neighbor in sorted(neighbors, key=lambda v: v.sort_key()):
-                resolved, _c = self.mq.resolve(neighbor)
-                mine = graph.add_vertex(_copy_vertex(resolved))
-                if direction == "backward":
-                    graph.add_edge(mine, here)
-                else:
-                    graph.add_edge(here, mine)
-                if resolved.key() not in visited:
-                    visited.add(resolved.key())
-                    frontier.append((resolved, depth + 1))
+            level.append(resolved)
+        depth = 0
+        while level and (scope is None or depth < scope):
+            expansions = []
+            for vertex in level:
+                result = self.mq.microquery(vertex)
+                neighbors = (
+                    result.predecessors if direction == "backward"
+                    else result.successors
+                )
+                expansions.append(
+                    (vertex, sorted(neighbors, key=lambda v: v.sort_key()))
+                )
+            self.mq.build_views([n.node for _v, neighbors in expansions
+                                 for n in neighbors])
+            next_level = []
+            for vertex, neighbors in expansions:
+                here = graph.get(vertex.key())
+                for neighbor in neighbors:
+                    resolved, _c = self.mq.resolve(neighbor)
+                    mine = graph.add_vertex(_copy_vertex(resolved))
+                    if direction == "backward":
+                        graph.add_edge(mine, here)
+                    else:
+                        graph.add_edge(here, mine)
+                    if resolved.key() not in visited:
+                        visited.add(resolved.key())
+                        next_level.append(resolved)
+            level = next_level
+            depth += 1
         stats = _diff_stats(stats_before, self.mq.stats)
         return QueryResult(graph.get(resolved_root.key()), graph, stats,
                            direction)

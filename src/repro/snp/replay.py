@@ -26,6 +26,14 @@ canonical order, and checkpoint snapshots carry logical state only —
 restoring one onto a fresh machine rebuilds the derived join-index state,
 so a replay seeded from a checkpoint is byte-identical to the original
 run regardless of evaluation strategy or hash randomization.
+
+Concurrency contract (parallel view builds): everything here is either a
+pure function of its arguments or mutates only the GCA/ReplayResult it
+was handed. One replay (and its later extensions) is owned by exactly one
+view-build task at a time, so concurrent replays of *different* nodes
+never share mutable state — they only read the deployment's app
+factories, which must already be side-effect-free for replay to be
+deterministic at all.
 """
 
 import time
@@ -192,7 +200,7 @@ def _drive_gca(gca, node_id, entries):
 
 
 def replay_segment(node_id, response, app_factory, t_prop,
-                   known_alarm_msg_ids=frozenset()):
+                   known_alarm_msg_ids=frozenset(), stats=None):
     """Replay a verified RetrieveResponse through the GCA.
 
     Returns a ReplayResult whose graph is the node's partition of Gν. A
@@ -201,6 +209,10 @@ def replay_segment(node_id, response, app_factory, t_prop,
     red, which is exactly the paper's semantics. Only outright crashes of
     the application machine are caught and reported as a replay failure
     (which the microquery module turns into a red vertex).
+
+    *stats* (a QueryStats) receives the replay cost directly — parallel
+    builds pass each worker's own collector so the accounting needs no
+    shared counters.
     """
     gca = GraphConstructor(app_factory, t_prop=t_prop)
     gca.known_alarm_msg_ids = known_alarm_msg_ids
@@ -210,6 +222,9 @@ def replay_segment(node_id, response, app_factory, t_prop,
         machine.restore(chk.aux["snapshot"])
         gca.seed_node(node_id, chk.aux["extant"], chk.aux["believed"])
     processed, elapsed, failure = _drive_gca(gca, node_id, response.entries)
+    if stats is not None:
+        stats.replay_seconds += elapsed
+        stats.events_replayed += processed
     return ReplayResult(
         node=node_id,
         graph=gca.graph,
@@ -224,7 +239,7 @@ def replay_segment(node_id, response, app_factory, t_prop,
 
 
 def extend_replay(node_id, result, response,
-                  known_alarm_msg_ids=frozenset()):
+                  known_alarm_msg_ids=frozenset(), stats=None):
     """Continue a previous replay with a verified log suffix.
 
     *result* must be the ReplayResult of an earlier replay of the same
@@ -248,6 +263,9 @@ def extend_replay(node_id, result, response,
         )
     gca.known_alarm_msg_ids = known_alarm_msg_ids
     processed, elapsed, failure = _drive_gca(gca, node_id, response.entries)
+    if stats is not None:
+        stats.replay_seconds += elapsed
+        stats.events_replayed += processed
     result.events_replayed += processed
     result.replay_seconds += elapsed
     result.machine = gca.machines.get(node_id)

@@ -1,0 +1,264 @@
+"""Parallel ≡ serial equivalence for worker-pool view builds.
+
+The executor only changes *scheduling* of the node-local build phase;
+every querier-shared effect (evidence harvesting, memo commits, stats
+merging, view creation) happens on the calling thread in canonical node
+order. These tests pin the resulting contract: macroquery colors,
+proven-faulty verdicts and merged QueryStats counters are identical for
+every worker count — including under misbehaving nodes — and the
+incremental consistency-check cursor keeps refresh scans proportional to
+new evidence.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.mincost import best_cost, build_paper_network, link
+from repro.snp import Deployment, QueryProcessor
+from repro.snp.adversary import ForkingNode, SilentNode, TamperingNode
+from repro.snp.executor import (
+    SerialExecutor, ThreadedExecutor, make_executor,
+)
+
+WORKER_COUNTS = (1, 2, 4, 8)
+
+
+def _net(seed=77, overrides=None):
+    dep = Deployment(seed=seed, key_bits=256)
+    nodes = build_paper_network(dep, node_overrides=overrides or {})
+    dep.run()
+    return dep, nodes
+
+
+def _fingerprint(result):
+    return sorted((str(v.key()), v.color)
+                  for v in result.graph.vertices())
+
+
+def _cold_outcome(dep, workers, scope=5):
+    """Everything observable from one cold macroquery."""
+    qp = QueryProcessor(dep, executor=workers)
+    result = qp.why(best_cost("c", "d", 5), scope=scope)
+    outcome = {
+        "colors": _fingerprint(result),
+        "faulty": result.faulty_nodes(),
+        "suspect": result.suspect_nodes(),
+        "counters": qp.mq.stats.counters(),
+        "views": {str(n): v.status for n, v in qp.mq._views.items()},
+    }
+    qp.close()
+    return outcome
+
+
+# ------------------------------------------------------- macroquery paths
+
+
+class TestParallelEqualsSerial:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS[1:])
+    def test_clean_network(self, workers):
+        dep, _nodes = _net()
+        assert _cold_outcome(dep, workers) == _cold_outcome(dep, 1)
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS[1:])
+    def test_forking_adversary(self, workers):
+        dep, nodes = _net(overrides={"b": ForkingNode})
+        nodes["b"].fork_log(keep_upto=3)
+        serial = _cold_outcome(dep, 1)
+        assert "b" in serial["faulty"]
+        assert _cold_outcome(dep, workers) == serial
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS[1:])
+    def test_tampering_adversary(self, workers):
+        dep, nodes = _net(overrides={"b": TamperingNode})
+        nodes["b"].tamper_entry(2, ("rewritten-history",))
+        serial = _cold_outcome(dep, 1)
+        assert "b" in serial["faulty"]
+        assert _cold_outcome(dep, workers) == serial
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS[1:])
+    def test_silent_adversary(self, workers):
+        dep, _nodes = _net(overrides={"b": SilentNode})
+        serial = _cold_outcome(dep, 1)
+        assert "b" in serial["suspect"]
+        assert serial["views"]["b"] == "unreachable"
+        assert _cold_outcome(dep, workers) == serial
+
+    def test_prefetch_matches_lazy_exploration(self):
+        dep, _nodes = _net()
+        lazy = QueryProcessor(dep)
+        eager = QueryProcessor(dep, executor=4)
+        eager.prefetch()
+        result_lazy = lazy.why(best_cost("c", "d", 5))
+        result_eager = eager.why(best_cost("c", "d", 5))
+        assert _fingerprint(result_lazy) == _fingerprint(result_eager)
+        assert {str(n): v.status for n, v in lazy.mq._views.items()} \
+            == {str(n): v.status
+                for n, v in eager.mq._views.items()
+                if n in lazy.mq._views}
+        eager.close()
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=4),
+           workers=st.sampled_from((2, 4)))
+    def test_equivalence_property(self, seed, workers):
+        dep, _nodes = _net(seed=100 + seed)
+        assert _cold_outcome(dep, workers) == _cold_outcome(dep, 1)
+
+
+class TestParallelRefresh:
+    def _refresh_outcome(self, workers):
+        dep, nodes = _net(seed=91)
+        qp = QueryProcessor(dep, executor=workers)
+        qp.why(best_cost("c", "d", 5))
+        nodes["a"].insert(link("a", "z", 2))
+        dep.run()
+        before = qp.mq.stats.copy()
+        qp.refresh()
+        delta = qp.mq.stats.delta_since(before)
+        result = qp.why(best_cost("c", "d", 5))
+        outcome = {
+            "colors": _fingerprint(result),
+            "delta": delta.counters(),
+            "views": {str(n): v.status for n, v in qp.mq._views.items()},
+        }
+        qp.close()
+        return outcome
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS[1:])
+    def test_refresh_counters_and_colors_match_serial(self, workers):
+        assert self._refresh_outcome(workers) == self._refresh_outcome(1)
+
+    @pytest.mark.parametrize("workers", (1, 4))
+    def test_unexpected_task_error_invalidates_unfinalized_views(
+            self, workers):
+        # An *unexpected* exception escaping a build task aborts the
+        # batch; members not yet finalized may hold replays advanced past
+        # their committed heads and must be dropped, not kept.
+        dep, nodes = _net(seed=93)
+        qp = QueryProcessor(dep, executor=workers)
+        qp.why(best_cost("c", "d", 5))
+        assert "b" in qp.mq._views
+
+        def boom(*_args, **_kwargs):
+            raise RuntimeError("boom")
+
+        nodes["b"].retrieve = boom
+        with pytest.raises(RuntimeError, match="boom"):
+            qp.refresh()
+        assert "b" not in qp.mq._views
+        del nodes["b"].retrieve  # restore the class method
+        assert qp.why(best_cost("c", "d", 5)).is_clean()
+        qp.close()
+
+    @pytest.mark.parametrize("workers", (1, 4))
+    def test_fork_after_cached_head_detected(self, workers):
+        dep, nodes = _net(seed=92, overrides={"b": ForkingNode})
+        qp = QueryProcessor(dep, executor=workers)
+        qp.why(best_cost("c", "d", 5))
+        head = qp.mq.view_of("b").head_index
+        nodes["b"].fork_log(keep_upto=head - 4)
+        nodes["b"].insert(link("b", "q", 4))
+        dep.run()
+        qp.refresh()
+        view = qp.mq._views["b"]
+        assert view.status == "proven-faulty"
+        assert "fork" in view.verdict_reason
+        qp.close()
+
+
+# ----------------------------------------------------- executor machinery
+
+
+class TestExecutors:
+    def test_make_executor_specs(self):
+        assert isinstance(make_executor(None), SerialExecutor)
+        assert isinstance(make_executor("serial"), SerialExecutor)
+        assert isinstance(make_executor(1), SerialExecutor)
+        pool = make_executor(4)
+        assert isinstance(pool, ThreadedExecutor) and pool.workers == 4
+        named = make_executor("thread:3")
+        assert isinstance(named, ThreadedExecutor) and named.workers == 3
+        passthrough = SerialExecutor()
+        assert make_executor(passthrough) is passthrough
+        with pytest.raises(ValueError):
+            make_executor("fibers")
+        with pytest.raises(ValueError):
+            make_executor(0)
+        with pytest.raises(ValueError):
+            make_executor(True)
+
+    def test_threaded_results_align_with_task_order(self):
+        import time
+
+        def task(i):
+            def run():
+                time.sleep(0.01 * ((7 * i) % 5))  # scramble finish order
+                return i
+            return run
+
+        pool = ThreadedExecutor(4)
+        try:
+            assert pool.run([task(i) for i in range(10)]) == list(range(10))
+        finally:
+            pool.close()
+
+    def test_close_is_idempotent(self):
+        pool = ThreadedExecutor(2)
+        assert pool.run([lambda: 1]) == [1]
+        pool.close()
+        pool.close()
+
+
+# ------------------------------------------- incremental consistency scan
+
+
+class TestConsistencyCursor:
+    def test_node_side_cursor_slices_new_evidence(self):
+        dep, nodes = _net(seed=95)
+        holder, about = "c", "b"
+        full = nodes[holder].authenticators_about(about)
+        assert full  # the network exchanged messages
+        assert nodes[holder].authenticators_about(about, since=len(full)) \
+            == []
+        tail = nodes[holder].authenticators_about(about, since=1)
+        assert tail == full[1:]
+
+    def test_deployment_cursor_round_trip(self):
+        dep, nodes = _net(seed=96)
+        first, cursor = dep.collect_authenticators_about_since("b", None)
+        assert first == dep.collect_authenticators_about("b")
+        again, cursor2 = dep.collect_authenticators_about_since("b", cursor)
+        assert again == []
+        assert cursor2 == cursor
+        # New traffic toward b produces new evidence — and the cursor
+        # yields exactly the complement of what was already scanned.
+        nodes["a"].insert(link("a", "b", 1))
+        dep.run()
+        fresh, cursor3 = dep.collect_authenticators_about_since("b", cursor)
+        assert fresh
+        everything = dep.collect_authenticators_about("b")
+        assert len(first) + len(fresh) == len(everything)
+        sig = lambda auths: {bytes(a.signature) for a in auths}  # noqa: E731
+        assert sig(first) | sig(fresh) == sig(everything)
+        assert dep.collect_authenticators_about_since("b", cursor3)[0] == []
+
+    def test_refresh_scans_only_new_evidence(self):
+        dep, nodes = _net(seed=97)
+        qp = QueryProcessor(dep)
+        qp.why(best_cost("c", "d", 5))
+        # The cold build committed a cursor per ok view; with no new
+        # traffic, a refresh collects nothing for the consistency check.
+        for node_id, view in qp.mq._views.items():
+            if view.status != "ok":
+                continue
+            cursor = qp.mq._consistency_cursors[node_id]
+            assert dep.collect_authenticators_about_since(
+                node_id, cursor)[0] == []
+
+    def test_cursor_reset_on_invalidate(self):
+        dep, _nodes = _net(seed=98)
+        qp = QueryProcessor(dep)
+        qp.why(best_cost("c", "d", 5))
+        assert qp.mq._consistency_cursors
+        qp.mq.invalidate()
+        assert not qp.mq._consistency_cursors
