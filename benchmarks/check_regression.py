@@ -101,13 +101,25 @@ def parallel_metrics(payload):
 
 
 def parallel_hard_checks(payload):
-    """Zero-tolerance checks on the current output alone."""
+    """Zero-tolerance checks on the current output alone.
+
+    ``results_match`` covers every arm the bench ran — thread *and*
+    process pools — so any serial ≠ process mismatch (colors, verdicts,
+    or merged non-timing counters) fails here; the presence check keeps
+    the process arm from silently dropping out of the bench matrix.
+    """
     failures = []
     for name, entry in payload.get("scenarios", {}).items():
         if not entry.get("results_match", False):
             failures.append(
                 f"{name}: serial and parallel builds disagree "
                 "(results_match is false)"
+            )
+        if not any(str(key).startswith("process:")
+                   for key in entry.get("cold", {})):
+            failures.append(
+                f"{name}: bench output has no process arm (the "
+                "serial ≡ process gate would be vacuous)"
             )
     return failures
 

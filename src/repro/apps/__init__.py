@@ -13,4 +13,105 @@ Each application exercises a different provenance-extraction method
 * :mod:`repro.apps.bgp` — a BGP daemon treated as a black box behind a
   proxy with an *external specification* of four rules including a 'maybe'
   rule (method #3), the paper's Quagga application.
+
+Factory registry
+----------------
+
+Deterministic replay rebuilds a node's state machine from the *factory*
+registered at :meth:`~repro.snp.deployment.Deployment.add_node`. Factories
+built from Datalog programs close over compiled rules (including guard and
+expression lambdas), which can never cross a process boundary — so
+process-pool view builds (see :mod:`repro.snp.wire`) ship a *name + plain
+kwargs* spec instead and resolve it against this registry inside each
+worker. :class:`AppFactory` is the callable that carries such a spec; the
+built-in applications all hand one out, and external applications can join
+with :func:`register_app`.
 """
+
+_REGISTRY = {}
+
+#: Built-in application builders, imported lazily so that pulling in
+#: ``repro.apps`` (e.g. inside a spawned worker) does not pay for every
+#: example program's rule compilation up front.
+_BUILTIN_BUILDERS = {
+    "chord": ("repro.apps.chord", "build_chord_app_factory"),
+    "mincost": ("repro.apps.mincost", "build_mincost_app_factory"),
+    "pathvector": ("repro.apps.pathvector", "build_pathvector_app_factory"),
+    "bgp": ("repro.apps.bgp", "build_bgp_app_factory"),
+    "mapreduce": ("repro.apps.mapreduce", "build_mapreduce_app_factory"),
+}
+
+
+def register_app(name, builder):
+    """Register *builder* under *name*.
+
+    ``builder(**kwargs)`` must return a state-machine factory — a callable
+    mapping ``node_id`` to a fresh deterministic state machine. Both the
+    name and every kwarg an :class:`AppFactory` is created with must be
+    wire-encodable plain data (see :mod:`repro.snp.wire`), because they are
+    what travels to process-pool workers in place of the factory itself.
+    """
+    _REGISTRY[name] = builder
+    return builder
+
+
+def resolve_builder(name):
+    """The builder registered under *name* (imports built-ins lazily)."""
+    builder = _REGISTRY.get(name)
+    if builder is not None:
+        return builder
+    entry = _BUILTIN_BUILDERS.get(name)
+    if entry is None:
+        raise KeyError(
+            f"no application builder registered under {name!r}; "
+            "register one with repro.apps.register_app"
+        )
+    import importlib
+
+    module_name, attr = entry
+    builder = getattr(importlib.import_module(module_name), attr)
+    _REGISTRY[name] = builder
+    return builder
+
+
+class AppFactory:
+    """A registry-backed, wire-representable state-machine factory.
+
+    Locally it behaves exactly like the closure it replaces: calling it
+    with a ``node_id`` returns a fresh state machine (the underlying
+    builder runs once, so per-factory work such as rule compilation is
+    shared by all nodes using the factory). For the process boundary it
+    exposes :meth:`wire_spec`: the registry name plus the kwargs in wire
+    form, from which a worker rebuilds an equivalent factory. Mutable
+    kwargs (e.g. MapReduce's content store) are snapshotted at
+    ``wire_spec()`` time, i.e. once per shipped work item.
+    """
+
+    __slots__ = ("name", "kwargs", "_resolved")
+
+    def __init__(self, name, **kwargs):
+        self.name = name
+        self.kwargs = kwargs
+        self._resolved = None
+
+    def __call__(self, node_id):
+        if self._resolved is None:
+            self._resolved = resolve_builder(self.name)(**self.kwargs)
+        return self._resolved(node_id)
+
+    def wire_spec(self):
+        from repro.snp.wire import value_to_wire
+
+        return (self.name, value_to_wire(dict(self.kwargs)))
+
+    def __repr__(self):
+        inner = ", ".join(f"{k}={v!r}" for k, v in self.kwargs.items())
+        return f"AppFactory({self.name!r}{', ' if inner else ''}{inner})"
+
+
+def factory_from_spec(spec):
+    """Rebuild a factory from a :meth:`AppFactory.wire_spec` tuple."""
+    from repro.snp.wire import value_from_wire
+
+    name, kwargs_wire = spec
+    return resolve_builder(name)(**value_from_wire(kwargs_wire))

@@ -147,9 +147,16 @@ class BgpProxyApp(DatalogApp):
         self._recently_undone = dict(snap.get("recently_undone", {}))
 
 
-def bgp_app_factory():
+def build_bgp_app_factory():
+    """Registry builder (see :mod:`repro.apps`): compiles the proxy's
+    external specification once and returns the per-node factory."""
     program = bgp_proxy_program()
     return lambda node_id: BgpProxyApp(node_id, program)
+
+
+def bgp_app_factory():
+    from repro.apps import AppFactory
+    return AppFactory("bgp")
 
 
 def bgp_native_sizer(msg):

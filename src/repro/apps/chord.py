@@ -209,9 +209,16 @@ def chord_program(ring_bits=16):
     ])
 
 
-def chord_factory(ring_bits=16):
+def build_chord_app_factory(ring_bits=16):
+    """Registry builder (see :mod:`repro.apps`): compiles the program once
+    and returns the plain per-node factory."""
     program = chord_program(ring_bits=ring_bits)
     return lambda node_id: DatalogApp(node_id, program)
+
+
+def chord_factory(ring_bits=16):
+    from repro.apps import AppFactory
+    return AppFactory("chord", ring_bits=ring_bits)
 
 
 # ----------------------------------------------------------------- tuples

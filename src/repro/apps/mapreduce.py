@@ -287,6 +287,14 @@ class CorruptWordCountApp(MapReduceApp):
         return out
 
 
+def build_mapreduce_app_factory(content, granularity=COMBINED):
+    """Registry builder (see :mod:`repro.apps`). *content* maps text hashes
+    to file contents — inside a process-pool worker it is the snapshot the
+    wire spec carried, standing in for the distributed filesystem."""
+    return lambda node_id: MapReduceApp(node_id, content,
+                                        granularity=granularity)
+
+
 def mapreduce_native_sizer(msg):
     """Paper accounting (Section 7.4): SNooPy adds a fixed number of bytes
     per message over whatever the unmodified system serializes. A shuffle
@@ -312,12 +320,16 @@ class WordCountJob:
         self._add_workers()
 
     def _add_workers(self):
+        from repro.apps import AppFactory
         from repro.snp.adversary import MisexecutingNode
-        store = self.content_store
-        granularity = self.granularity
-
-        def honest_factory(node_id):
-            return MapReduceApp(node_id, store, granularity=granularity)
+        # The registry-backed factory keeps a live reference to the shared
+        # content store locally; its wire spec snapshots the store's
+        # contents at encode time, so process-pool replays see whatever the
+        # distributed filesystem held when the build was fetched.
+        honest_factory = AppFactory(
+            "mapreduce", content=self.content_store,
+            granularity=self.granularity,
+        )
 
         for name in self.mappers + self.reducers:
             cls = (MisexecutingNode if name in self.corrupt_mappers
@@ -333,7 +345,8 @@ class WordCountJob:
                 )
                 spec = self.corrupt_mappers[name]
                 node.install_corrupt_app(CorruptWordCountApp(
-                    name, store, granularity=granularity, **spec
+                    name, self.content_store,
+                    granularity=self.granularity, **spec
                 ))
 
     def run(self, splits):

@@ -63,10 +63,17 @@ def mincost_program(max_cost=255):
     return Program([r1, r2, r3])
 
 
-def mincost_factory(max_cost=255):
-    """State-machine factory usable with Deployment.add_node."""
+def build_mincost_app_factory(max_cost=255):
+    """Registry builder (see :mod:`repro.apps`): compiles the program once
+    and returns the plain per-node factory."""
     program = mincost_program(max_cost=max_cost)
     return lambda node_id: DatalogApp(node_id, program)
+
+
+def mincost_factory(max_cost=255):
+    """State-machine factory usable with Deployment.add_node."""
+    from repro.apps import AppFactory
+    return AppFactory("mincost", max_cost=max_cost)
 
 
 def link(x, y, cost):

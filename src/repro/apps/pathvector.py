@@ -50,9 +50,16 @@ def pathvector_program(max_path_len=16):
     return Program([p1, p2, p3])
 
 
-def pathvector_factory(max_path_len=16):
+def build_pathvector_app_factory(max_path_len=16):
+    """Registry builder (see :mod:`repro.apps`): compiles the program once
+    and returns the plain per-node factory."""
     program = pathvector_program(max_path_len=max_path_len)
     return lambda node_id: DatalogApp(node_id, program)
+
+
+def pathvector_factory(max_path_len=16):
+    from repro.apps import AppFactory
+    return AppFactory("pathvector", max_path_len=max_path_len)
 
 
 def link(x, y):

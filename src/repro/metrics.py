@@ -241,6 +241,9 @@ class QueryStats:
         self.events_replayed = 0
         self.signatures_verified = 0
         self.auth_checks_skipped = 0
+        # Skipped authenticators retroactively checked by a later, wider
+        # build (the pending-skip registry; see microquery.py).
+        self.auth_checks_recovered = 0
         self.microqueries = 0
 
     def downloaded_bytes(self):

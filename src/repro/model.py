@@ -51,6 +51,15 @@ class Tup:
     def __hash__(self):
         return self._hash
 
+    def __reduce__(self):
+        # Pickle through the constructor: the memoized hash is
+        # process-local (per-process hash randomization), so an unpickled
+        # tuple must recompute it in the importing process rather than
+        # carry the sender's — otherwise equal tuples constructed on the
+        # two sides of a process boundary would land in different dict
+        # buckets. See repro/snp/wire.py.
+        return (Tup, (self.relation, self.loc) + self.args)
+
     def __repr__(self):
         inner = ", ".join([f"@{self.loc}"] + [repr(a) for a in self.args])
         return f"{self.relation}({inner})"
@@ -118,6 +127,12 @@ class Msg:
 
     def __hash__(self):
         return self._hash
+
+    def __reduce__(self):
+        # Constructor-rebuilding pickle for the same reason as Tup's: the
+        # memoized hash must be recomputed process-locally.
+        return (Msg, (self.polarity, self.tup, self.src, self.dst,
+                      self.seq, self.t_sent))
 
     def __repr__(self):
         return (

@@ -85,6 +85,11 @@ class Deployment:
         # deployments use: a +τ and its later −τ must arrive in order or
         # the receiver's belief state is corrupted.
         self._channel_clock = {}
+        # Standing delta-replication policy (see enable_replication):
+        # (interval_seconds, replication_factor) or None, plus the next
+        # simulated instant a replication pass is due.
+        self._replication = None
+        self._next_replication_t = 0.0
 
     # ------------------------------------------------------------- set-up
 
@@ -170,9 +175,22 @@ class Deployment:
     # ------------------------------------------------------------- running
 
     def run(self, max_events=None):
-        return self.sim.run(max_events=max_events)
+        steps = self.sim.run(max_events=max_events)
+        if self._replication is not None:
+            # Draining the queue fast-forwards past any number of cadence
+            # instants; one pass at quiescence leaves the replicas exactly
+            # as fresh as ticking through them all would have.
+            self.replicate_deltas(self._replication[1])
+            self._next_replication_t = self.sim.now + self._replication[0]
+        return steps
 
     def run_until(self, t):
+        if self._replication is not None:
+            interval, factor = self._replication
+            while self._next_replication_t <= t:
+                self.sim.run_until(self._next_replication_t)
+                self.replicate_deltas(factor)
+                self._next_replication_t += interval
         self.sim.run_until(t)
 
     def checkpoint_all(self):
@@ -203,6 +221,65 @@ class Deployment:
                 replica = self.nodes[names[(index + step) % len(names)]]
                 if replica.node_id != name:
                     replica.accept_mirror(response)
+
+    def replicate_deltas(self, replication_factor=2):
+        """Re-push each node's log *suffix* to its replica set.
+
+        The incremental counterpart of :meth:`replicate_logs`: a replica
+        that already mirrors a prefix is asked only for the entries past
+        its stored head (``retrieve(since_index=)``), which
+        ``SNooPyNode.accept_mirror`` splices onto the stored copy; a
+        replica with no copy yet gets the full log. Run on a cadence (see
+        :meth:`enable_replication`) this keeps every replica set fresh, so
+        ``find_mirror(since_index=)`` can serve view *refreshes* for an
+        origin that has since crashed — not just cold builds of whatever
+        stale copy an old full push left behind. Byzantine nodes may
+        refuse to serve or store; replication stays best-effort. Returns
+        the number of pushes that stored something.
+        """
+        names = sorted(self.nodes, key=str)
+        pushes = 0
+        for index, name in enumerate(names):
+            node = self.nodes[name]
+            for step in range(1, replication_factor + 1):
+                replica = self.nodes[names[(index + step) % len(names)]]
+                if replica.node_id == name:
+                    continue
+                current = replica.mirror_of(name)
+                if current is None:
+                    response = node.retrieve()
+                else:
+                    stored_head = (current.start_index
+                                   + len(current.entries) - 1)
+                    response = node.retrieve(since_index=stored_head)
+                    if response is not None and not response.entries:
+                        continue  # nothing appended since the last push
+                if response is None:
+                    continue
+                replica.accept_mirror(response)
+                pushes += 1
+        return pushes
+
+    def enable_replication(self, interval_seconds, replication_factor=2):
+        """Install a standing delta-replication cadence.
+
+        While enabled, :meth:`run_until` interleaves a
+        :meth:`replicate_deltas` pass every *interval_seconds* of
+        simulated time, and :meth:`run` (which drains the queue) performs
+        one pass at quiescence — so a deployment that keeps running keeps
+        its replica sets fresh without anyone calling replicate by hand.
+        """
+        if interval_seconds <= 0:
+            raise ConfigurationError(
+                f"replication interval must be positive, got "
+                f"{interval_seconds!r}"
+            )
+        self._replication = (float(interval_seconds), replication_factor)
+        self._next_replication_t = self.sim.now + interval_seconds
+        return self._replication
+
+    def disable_replication(self):
+        self._replication = None
 
     def find_mirror(self, origin, since_index=None):
         """Best (longest) mirror of *origin*'s log held by any node.

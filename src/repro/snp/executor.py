@@ -1,25 +1,38 @@
 """Executors for per-node view-build work (see DESIGN.md, "Parallel view
-builds").
+builds" and "Process-pool builds").
 
-The microquery module splits a view build into a *node-local* phase that
-touches no querier-shared state (retrieve, hash-chain and signature
-verification, consistency check, replay) and a *merge* phase that runs on
-the calling thread in canonical node order. An executor only decides how
-the node-local tasks are scheduled:
+The microquery module splits a view build into a *fetch* step (touches the
+deployment; coordinator side), a *verify+replay* compute step (a pure
+function of a work item and a context; see :mod:`repro.snp.wire`) and a
+*finalize* step on the calling thread in canonical node order. An executor
+only decides how the per-node fetch+compute pipelines are scheduled:
 
 * :class:`SerialExecutor` — runs tasks inline, one at a time, in the order
   given. The default; also the fallback for ``workers <= 1``.
 * :class:`ThreadedExecutor` — runs tasks on a persistent thread pool.
-  Task *results* still come back aligned with the submission order, so the
-  merge phase (and therefore every observable query result and counter) is
-  identical to the serial executor's by construction.
+  Downloads overlap; compute still serializes under the GIL.
+* :class:`ProcessExecutor` — fetches on coordination threads, ships each
+  work item's wire form to a warm spawn-based process pool for the
+  compute step, and decodes the compact outcome. Replay and RSA
+  verification run truly in parallel.
+* :class:`WireCheckExecutor` — serial, but forces context, work and
+  outcome through their wire representations: the serialization contract
+  exercised without paying process spawn (a test/debug aid).
+
+Task *results* always come back aligned with submission order, and every
+executor funnels the same compute function, so the merge phase (and
+therefore every observable query result and counter) is identical across
+executors by construction.
 
 ``make_executor`` turns the user-facing spec (``None``, an int worker
-count, ``"serial"``, ``"thread:4"``, or an executor instance) into an
-executor object.
+count, ``"serial"``, ``"thread:4"``, ``"process:4"``, ``"wire"``, or an
+executor instance) into an executor object.
 """
 
-from concurrent.futures import ThreadPoolExecutor
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+from repro.snp.wire import init_worker_process, warm_worker
 
 
 class SerialExecutor:
@@ -73,13 +86,122 @@ class ThreadedExecutor:
         return f"ThreadedExecutor(workers={self.workers})"
 
 
+class ProcessExecutor:
+    """Back the compute step of view builds with worker *processes*.
+
+    Per build job, a coordination thread runs the fetch step (so the
+    transport-sleep download model still overlaps across jobs exactly as
+    the threaded executor's does), encodes the work item, submits it to
+    the process pool, and decodes the compact outcome — see
+    :meth:`_BuildJob.run_remote <repro.snp.microquery._BuildJob>`.
+
+    The pool uses the *spawn* start method (fork-safety: the coordinator
+    holds live locks and thread pools) and is warmed by
+    :meth:`prepare` — normally called from ``MicroQuerier.__init__`` — so
+    the first query batch does not pay interpreter start-up. Workers are
+    initialized once per pool with the wire form of the
+    :class:`~repro.snp.wire.BuildContext`; a later ``prepare`` with a
+    *different* context (a new deployment) recreates the pool.
+    """
+
+    def __init__(self, workers):
+        if workers < 1:
+            raise ValueError(f"worker count must be >= 1, got {workers}")
+        self.workers = workers
+        self._pool = None
+        self._coordinator = None
+        self._context_wire = None
+
+    def prepare(self, context):
+        """Create (or re-create) and warm the process pool for *context*."""
+        wire = context.to_wire()
+        if self._pool is not None:
+            if wire == self._context_wire:
+                return
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        mp_context = multiprocessing.get_context("spawn")
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.workers, mp_context=mp_context,
+            initializer=init_worker_process, initargs=(wire,),
+        )
+        self._context_wire = wire
+        # Queue one slow-ish no-op per worker so all of them spawn (and
+        # run the initializer) now, not inside the first timed batch.
+        list(self._pool.map(warm_worker, [0.05] * self.workers))
+
+    def run_jobs(self, jobs, context):
+        """Run build jobs; outcomes in submission order.
+
+        Two stages, neither blocking the other: fetch threads retrieve
+        segments (overlapping their transport sleeps) and submit each
+        work item to the process pool *without waiting on it*, so the
+        whole batch streams through the workers; then outcomes are
+        collected — and therefore finalized — in submission order.
+        """
+        if not jobs:
+            return []
+        self.prepare(context)
+        pool = self._pool
+        if len(jobs) == 1:
+            submissions = [jobs[0].submit_remote(pool)]
+        else:
+            if self._coordinator is None:
+                # Fetch threads only sleep on the transport model and run
+                # light bookkeeping — compute lives in the worker
+                # processes — so their count is not tied to the worker
+                # count: double it and downloads overlap deeper than the
+                # threaded executor (whose threads must also compute)
+                # could ever afford.
+                self._coordinator = ThreadPoolExecutor(
+                    max_workers=2 * self.workers,
+                    thread_name_prefix="view-fetch",
+                )
+            submissions = list(self._coordinator.map(
+                lambda job: job.submit_remote(pool), jobs
+            ))
+        return [job.collect_remote(future)
+                for job, future in zip(jobs, submissions)]
+
+    def close(self):
+        if self._coordinator is not None:
+            self._coordinator.shutdown(wait=True)
+            self._coordinator = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._context_wire = None
+
+    def __repr__(self):
+        return f"ProcessExecutor(workers={self.workers})"
+
+
+class WireCheckExecutor:
+    """Serial executor that round-trips context, work and outcome through
+    the wire layer on every job — the process boundary's serialization
+    contract, checked deterministically and without spawn cost."""
+
+    workers = 1
+
+    def run_jobs(self, jobs, context):
+        return [job.run_wire_check(context) for job in jobs]
+
+    def close(self):
+        pass
+
+    def __repr__(self):
+        return "WireCheckExecutor()"
+
+
 def make_executor(spec=None):
     """Resolve an executor spec to an executor instance.
 
     ``None`` or ``"serial"`` → :class:`SerialExecutor`; an int ``n`` →
     serial for ``n == 1``, ``ThreadedExecutor(n)`` for ``n > 1``
     (``n < 1`` is an error); ``"thread:N"`` → ``ThreadedExecutor(N)``;
-    an object with a ``run`` method passes through unchanged.
+    ``"process:N"`` → ``ProcessExecutor(N)``; ``"wire"`` →
+    :class:`WireCheckExecutor`; an object with a ``run`` or ``run_jobs``
+    method passes through unchanged.
     """
     if spec is None or spec == "serial":
         return SerialExecutor()
@@ -92,7 +214,11 @@ def make_executor(spec=None):
     if isinstance(spec, str):
         if spec.startswith("thread:"):
             return make_executor(int(spec.split(":", 1)[1]))
+        if spec.startswith("process:"):
+            return ProcessExecutor(int(spec.split(":", 1)[1]))
+        if spec == "wire":
+            return WireCheckExecutor()
         raise ValueError(f"unknown executor spec {spec!r}")
-    if hasattr(spec, "run"):
+    if hasattr(spec, "run") or hasattr(spec, "run_jobs"):
         return spec
     raise ValueError(f"cannot build an executor from {spec!r}")

@@ -25,33 +25,42 @@ and replaying only the log suffix appended since — a node whose returned
 suffix does not continue the verified chain has provably forked its log
 (see DESIGN.md, "Audit path").
 
-Builds are *batched*: the per-node retrieve→verify→replay pipeline touches
-no querier-shared state, so :meth:`MicroQuerier.build_views` (and a batch
-:meth:`refresh`) schedule it per node onto a configurable executor
-(:mod:`repro.snp.executor`). Each node-local task runs against its own
-:class:`~repro.metrics.QueryStats`; the querier-shared state — the evidence
-store, the per-node checked-authenticator memos, the consistency cursors,
-the view cache and the merged stats — is only touched afterwards, on the
-calling thread, in canonical (sorted) node order. Parallel and serial
-executors therefore produce bit-identical views, colors and counters (see
-DESIGN.md, "Parallel view builds").
+Builds are *batched* and split in three (see DESIGN.md, "Process-pool
+builds"):
+
+* **fetch** (:class:`_BuildJob`, coordinator side) — retrieve or mirror
+  fallback, the transport-sleep download model, transfer accounting, and
+  the snapshotting of everything the verification needs: the frozen
+  evidence-store prefix, the checked-authenticator memo, the consistency
+  evidence collected from peers (cursored), the pending skipped
+  authenticators, and the maintainer's alarm set;
+* **compute** (:func:`repro.snp.wire.compute_build`) — hash-chain,
+  signature, checkpoint and consistency verification plus deterministic
+  replay, a pure function of the work item and a per-pool context. It can
+  run inline, on a thread, or — because work items and outcomes have wire
+  representations — in a worker process;
+* **finalize** (calling thread, canonical node order) — evidence-store
+  checks against what earlier batch members harvested, memo/cursor/pending
+  commits, harvesting, view installation.
+
+Parallel and serial executors therefore produce bit-identical views,
+colors and counters: they run the same compute function on value-equal
+inputs and finalize in the same order.
 """
 
-import threading
+import functools
 import time
 
 from repro.metrics import QueryStats
-from repro.snp.evidence import (
-    EvidenceStore, verify_authenticator, AUTHENTICATOR_BYTES,
-)
+from repro.snp.evidence import EvidenceStore, AUTHENTICATOR_BYTES
 from repro.snp.executor import make_executor
 from repro.snp.log import RCV, ACK
-from repro.snp.replay import (
-    check_against_authenticator, extend_replay, replay_segment,
-    verify_segment_hashes,
+from repro.snp.replay import check_against_authenticator
+from repro.snp.wire import (
+    BuildContext, BuildWork, CompactOutcome, compute_build, note_checked,
 )
 from repro.provgraph.vertices import Color, SEND, RECEIVE
-from repro.util.errors import AuthenticationError, LogVerificationError
+from repro.util.errors import LogVerificationError
 from repro.util.serialization import canonical_size
 
 OK = "ok"
@@ -67,9 +76,14 @@ class NodeView:
     authenticator — the anchor a later :meth:`MicroQuerier.refresh` extends
     from. The invariant: ``graph`` is exactly the replay of entries
     ``1..head_index`` and ``head_hash`` is the chain hash ``h_head_index``.
+
+    ``replay`` may be a live :class:`~repro.snp.replay.ReplayResult` or a
+    :class:`~repro.snp.wire.LazyReplay` blob a worker process shipped
+    back; ``graph`` materializes it on first access, so a standing
+    auditor only pays the decode for views its queries actually touch.
     """
 
-    __slots__ = ("node", "status", "graph", "log_len", "verdict_reason",
+    __slots__ = ("node", "status", "_graph", "log_len", "verdict_reason",
                  "replay", "head_index", "head_hash", "head_time")
 
     def __init__(self, node, status, graph=None, log_len=0,
@@ -77,7 +91,7 @@ class NodeView:
                  head_hash=None, head_time=float("-inf")):
         self.node = node
         self.status = status
-        self.graph = graph
+        self._graph = graph
         self.log_len = log_len
         self.verdict_reason = verdict_reason
         self.replay = replay
@@ -88,6 +102,18 @@ class NodeView:
         #: peers hold evidence for at a later t may simply postdate this
         #: view; its absence proves nothing yet).
         self.head_time = head_time
+
+    @property
+    def graph(self):
+        if self._graph is None and self.replay is not None:
+            self._graph = self.replay.graph  # LazyReplay decodes here
+        return self._graph
+
+    def install_replay(self, replay):
+        """Adopt a (possibly lazily-held) replay as this view's current
+        state; the cached graph is re-derived on next access."""
+        self.replay = replay
+        self._graph = None
 
 
 class MicroResult:
@@ -107,16 +133,17 @@ class MicroResult:
 
 
 class _BuildOutcome:
-    """What one node-local build/extend task hands back for finalizing.
+    """One node's build/extend result, ready for finalizing.
 
-    Owned by exactly one worker during the node-local phase; after the
-    executor returns it, ownership passes to the calling thread. ``kind``:
+    Assembled on the coordinator by :meth:`_BuildJob.absorb` from the
+    fetch step's bookkeeping plus the compute step's
+    :class:`~repro.snp.wire.CompactOutcome` — identically whether the
+    compute ran inline or came back over a process boundary. ``kind``:
 
     * ``final`` — ``view`` is already decided (unreachable, proven
       faulty, or a kept stale view); nothing left but to commit it;
-    * ``built`` — a full build verified and replayed node-locally; the
-      ``ok`` view is created during finalize, after the deferred
-      evidence-store checks;
+    * ``built`` — a full build verified and replayed; the ``ok`` view is
+      created during finalize, after the deferred evidence-store checks;
     * ``extended`` — an ``ok`` view (``base_view``) was advanced by a
       verified delta; finalize runs the evidence checks, then commits the
       new head and harvests.
@@ -125,7 +152,7 @@ class _BuildOutcome:
     __slots__ = ("node", "kind", "view", "base_view", "response", "hashes",
                  "stats", "checked", "cursor", "from_mirror",
                  "replay_result", "reset_memo", "evidence_prefix",
-                 "replay_mutated")
+                 "replay_mutated", "recovered", "skipped")
 
     def __init__(self, node, kind, stats):
         self.node = node
@@ -140,13 +167,17 @@ class _BuildOutcome:
         self.from_mirror = False
         self.replay_result = None
         self.reset_memo = False
-        #: How many of this node's evidence-store entries the node-local
-        #: phase already checked (the store is frozen while workers run);
-        #: finalize checks only the tail harvested later in the batch.
+        #: How many of this node's evidence-store entries the compute step
+        #: already checked (the store is frozen while jobs run); finalize
+        #: checks only the tail harvested later in the batch.
         self.evidence_prefix = 0
-        #: Whether a cached view's retained replay was advanced — a view
-        #: kept on a failure path must then not stay extendable.
+        #: Whether the base view's committed-head replay state was
+        #: advanced — a view kept on a failure path must then not stay
+        #: extendable.
         self.replay_mutated = False
+        #: Pending-skip registry traffic (see MicroQuerier._pending_skipped).
+        self.recovered = ()
+        self.skipped = ()
 
     def finalized(self, view):
         self.kind = "final"
@@ -154,24 +185,288 @@ class _BuildOutcome:
         return self
 
 
-class _WorkerVerifier:
-    """A keypair-less stand-in for the querier identity on worker threads.
+class _BuildJob:
+    """One node's build/extend unit of work.
 
-    ``verify_authenticator`` only needs ``verify(public_key, payload,
-    signature)`` plus the per-verifier op counter; generating an RSA
-    keypair and CA certificate per thread would be pure startup waste.
+    ``fetch()`` runs against the deployment and snapshots the verification
+    inputs into a :class:`~repro.snp.wire.BuildWork`; ``absorb()`` folds
+    the compute step's :class:`~repro.snp.wire.CompactOutcome` back into a
+    finalize-ready :class:`_BuildOutcome`. The run variants only differ in
+    where the compute step executes:
+
+    * :meth:`run_local` — inline (serial and threaded executors);
+    * :meth:`run_remote` — in a process pool, work and outcome crossing as
+      wire blobs;
+    * :meth:`run_wire_check` — inline, but round-tripped through the wire
+      layer (the :class:`~repro.snp.executor.WireCheckExecutor`).
     """
 
-    __slots__ = ("counter",)
+    __slots__ = ("mq", "node", "kind", "base_view", "stats", "response",
+                 "from_mirror", "reset_memo", "cursor", "evidence_prefix",
+                 "outcome", "factory")
 
-    def __init__(self):
-        from repro.crypto.keys import CryptoCounter
-        self.counter = CryptoCounter()
+    def __init__(self, mq, node, base_view=None):
+        self.mq = mq
+        self.node = node
+        self.kind = "built" if base_view is None else "extended"
+        self.base_view = base_view
+        self.stats = QueryStats()
+        self.response = None
+        self.from_mirror = False
+        self.reset_memo = False
+        self.cursor = None
+        self.evidence_prefix = 0
+        self.outcome = None
+        self.factory = mq.deployment.app_factories.get(node)
 
-    def verify(self, public_key, payload, signature):
-        from repro.util.serialization import canonical_bytes
-        self.counter.note_verify()
-        return public_key.verify(canonical_bytes(payload), signature)
+    # ------------------------------------------------------------- fetch
+
+    def fetch(self):
+        """Retrieve this node's segment and assemble the work item.
+
+        Returns a BuildWork, or None when the job finished at fetch time
+        (``self.outcome`` holds the final outcome: unreachable nodes, and
+        refresh targets that kept their stale-but-verified view).
+        """
+        if self.kind == "extended":
+            return self._fetch_extend()
+        return self._fetch_full()
+
+    def _fetch_extend(self):
+        mq = self.mq
+        view = self.base_view
+        node_id = self.node
+        node = mq.deployment.nodes.get(node_id)
+        response = None
+        if node is not None:
+            response = node.retrieve(since_index=view.head_index)
+        from_mirror = False
+        if response is None:
+            response = mq.deployment.find_mirror(
+                node_id, since_index=view.head_index
+            )
+            from_mirror = response is not None
+            if from_mirror:
+                response.from_mirror = True
+        if response is None:
+            # unreachable: the stale view stays verified
+            self.outcome = self._final(view)
+            return None
+        mq._simulate_transfer(response)
+        if response.start_index != view.head_index + 1:
+            # The responder did not (or could not) anchor at our head —
+            # e.g. a log shorter than the verified head, or a replica that
+            # only holds an older segment. Fall back to a full build: the
+            # harvested evidence (which includes the old signed head)
+            # still exposes any fork during full verification. The
+            # response in hand is reused so the node is not asked to ship
+            # its log twice — unless a checkpoint-anchored refetch is
+            # preferred, in which case the discarded transfer still
+            # happened and must be accounted.
+            if mq.use_checkpoints and not from_mirror:
+                mq._account_response(response, self.stats)
+                return self._fetch_full()
+            return self._fetch_full(response=response,
+                                    from_mirror=from_mirror)
+        self.from_mirror = from_mirror
+        self.stats.delta_fetches += 1
+        mq._account_response(response, self.stats)
+        self.response = response
+        return self._make_work()
+
+    def _fetch_full(self, response=None, from_mirror=False):
+        """Fetch for a from-scratch build. *response* short-circuits
+        retrieval when the caller already holds a full response (the
+        refresh fallback path) — trust in the chain is established from
+        zero either way, so the memoized evidence checks and the
+        consistency cursor are dropped at finalize."""
+        mq = self.mq
+        node_id = self.node
+        self.kind = "built"
+        self.base_view = None
+        self.reset_memo = True
+        node = mq.deployment.nodes.get(node_id)
+        if response is None:
+            if node is not None:
+                response = node.retrieve(from_checkpoint=mq.use_checkpoints)
+            if response is None:
+                # Section 5.8 extension: fall back to a replicated copy of
+                # the log. The mirror is verified exactly like a direct
+                # response (hash chain + origin's signed head), so a lying
+                # replica cannot frame the origin.
+                response = mq.deployment.find_mirror(node_id)
+                from_mirror = response is not None
+                if from_mirror:
+                    response.from_mirror = True
+            if response is not None:
+                mq._simulate_transfer(response)
+        if response is None:
+            self.outcome = self._final(
+                NodeView(node_id, UNREACHABLE,
+                         verdict_reason="no response to retrieve")
+            )
+            return None
+        self.from_mirror = from_mirror
+        mq._account_response(response, self.stats)
+        if response.checkpoint is not None:
+            self.stats.checkpoint_bytes += response.checkpoint.size_bytes()
+            self.stats.checkpoint_bytes += mq._snapshot_size(
+                response.checkpoint
+            )
+        self.response = response
+        return self._make_work()
+
+    def _make_work(self):
+        """Snapshot the querier-shared inputs (all frozen for the duration
+        of the batch) into the work item the compute step consumes."""
+        mq = self.mq
+        node_id = self.node
+        held = mq.evidence.for_node(node_id)
+        self.evidence_prefix = len(held)
+        if self.kind == "extended":
+            known = frozenset(mq._checked_auths.get(node_id, ()))
+            base_cursor = mq._consistency_cursors.get(node_id)
+        else:
+            known = frozenset()
+            base_cursor = None
+        consistency = None
+        if mq.run_consistency_check:
+            consistency, self.cursor = \
+                mq.deployment.collect_authenticators_about_since(
+                    node_id, base_cursor
+                )
+            consistency = tuple(consistency)
+        pending = tuple(mq._pending_skipped.get(node_id, {}).values())
+        view = self.base_view
+        return BuildWork(
+            node_id, self.kind, self.response,
+            known=known, held=held, pending=pending,
+            consistency=consistency,
+            alarms=frozenset(mq.deployment.maintainer.alarmed_msg_ids()),
+            head_index=view.head_index if view is not None else 0,
+            head_hash=view.head_hash if view is not None else None,
+            base_replay=view.replay if view is not None else None,
+            factory=mq.deployment.app_factories.get(node_id),
+            spec_cache=mq._batch_spec_cache,
+        )
+
+    # ------------------------------------------------------------ absorb
+
+    def _final(self, view):
+        outcome = _BuildOutcome(self.node, "final", self.stats)
+        outcome.from_mirror = self.from_mirror
+        outcome.reset_memo = self.reset_memo
+        return outcome.finalized(view)
+
+    def absorb(self, result):
+        """Fold a CompactOutcome into a finalize-ready _BuildOutcome.
+
+        This is the single interpretation point for compute results — the
+        same branching whether the result was produced inline or decoded
+        from a worker — so the mirror/verdict policy can never diverge
+        between executors.
+        """
+        node_id = self.node
+        self.stats.merge(result.stats)
+        outcome = _BuildOutcome(node_id, self.kind, self.stats)
+        outcome.from_mirror = self.from_mirror
+        outcome.reset_memo = self.reset_memo
+        outcome.evidence_prefix = self.evidence_prefix
+        outcome.cursor = self.cursor
+        outcome.response = self.response
+        outcome.checked = set(result.checked)
+        outcome.recovered = tuple(result.recovered)
+        outcome.skipped = tuple(result.skipped)
+        outcome.hashes = result.hashes
+        outcome.replay_mutated = result.replay_ran
+        replay = result.replay_result
+        if replay is not None:
+            replay.response = self.response
+        if result.status == CompactOutcome.VERIFY_FAILED:
+            if self.kind == "extended":
+                if self.from_mirror:
+                    # A corrupt replica cannot frame the origin; the
+                    # origin is merely unreachable right now, so the view
+                    # stays stale (verification precedes replay, so the
+                    # base replay is still at its committed head).
+                    return outcome.finalized(self.base_view)
+                return outcome.finalized(
+                    NodeView(node_id, PROVEN_FAULTY,
+                             verdict_reason=result.reason)
+                )
+            if self.from_mirror:
+                # A corrupt *mirror* is not evidence against the origin —
+                # the replica may be the liar. The origin merely remains
+                # unreachable (its vertices stay yellow).
+                return outcome.finalized(
+                    NodeView(node_id, UNREACHABLE,
+                             verdict_reason=f"bad mirror: {result.reason}")
+                )
+            return outcome.finalized(
+                NodeView(node_id, PROVEN_FAULTY,
+                         verdict_reason=result.reason)
+            )
+        if result.status == CompactOutcome.REPLAY_FAILED:
+            return outcome.finalized(
+                NodeView(node_id, PROVEN_FAULTY,
+                         verdict_reason=result.reason, replay=replay)
+            )
+        outcome.replay_result = replay
+        outcome.base_view = self.base_view
+        return outcome
+
+    # -------------------------------------------------------- run variants
+
+    def run_local(self, context):
+        work = self.fetch()
+        if work is None:
+            return self.outcome
+        return self.absorb(compute_build(work, context))
+
+    def submit_remote(self, pool):
+        """Fetch, then hand the work's wire form to the process pool.
+
+        Returns the pending future, or None when the job finished at
+        fetch time. Deliberately does *not* wait: the calling fetch
+        thread moves straight on to its next job, so downloads keep
+        overlapping while workers chew the compute queue.
+        """
+        work = self.fetch()
+        if work is None:
+            return None
+        from repro.snp.wire import compute_build_wire
+        return pool.submit(compute_build_wire, work.to_wire())
+
+    def collect_remote(self, future):
+        """Absorb a worker's compact outcome (submission order is the
+        caller's responsibility — outcomes must finalize canonically)."""
+        if future is None:
+            return self.outcome
+        return self.absorb(
+            CompactOutcome.from_wire(future.result(), self.factory)
+        )
+
+    def run_wire_check(self, context):
+        """In-process run that simulates the process boundary exactly:
+        context, work and outcome all pass through ``pickle`` of their
+        wire forms, so aliasing with coordinator state is severed and the
+        serialization contract is exercised without spawn cost."""
+        import pickle
+
+        work = self.fetch()
+        if work is None:
+            return self.outcome
+        factory = work.resolve_factory(context)
+        round_context = BuildContext.from_wire(
+            pickle.loads(pickle.dumps(context.to_wire()))
+        )
+        round_work = BuildWork.from_wire(
+            pickle.loads(pickle.dumps(work.to_wire())), round_context
+        )
+        wire = pickle.loads(
+            pickle.dumps(compute_build(round_work, round_context).to_wire())
+        )
+        return self.absorb(CompactOutcome.from_wire(wire, factory))
 
 
 class MicroQuerier:
@@ -182,6 +477,11 @@ class MicroQuerier:
         self.use_checkpoints = use_checkpoints
         self.verify_embedded_signatures = verify_embedded_signatures
         self.run_consistency_check = run_consistency_check
+        # Ownership: an executor built here from a spec is closed by
+        # close(); an executor *instance* handed in is the caller's to
+        # manage (it may be shared across queriers).
+        self._owns_executor = not (hasattr(executor, "run")
+                                   or hasattr(executor, "run_jobs"))
         self.executor = make_executor(executor)
         self.evidence = EvidenceStore()
         self.stats = QueryStats()
@@ -198,24 +498,54 @@ class MicroQuerier:
         # (see Deployment.collect_authenticators_about_since). Reset in
         # lockstep with the memo above.
         self._consistency_cursors = {}
-        # The querier needs its own identity only for verification calls;
-        # reuse a lightweight one so crypto ops are counted separately.
-        # Worker threads lazily get identities of their own — signature
-        # verification itself is pure, but the identity tallies a counter.
-        from repro.crypto.keys import NodeIdentity
-        self._querier_identity = NodeIdentity(
-            "__querier__", deployment.ca, key_bits=deployment.key_bits,
-            seed=0x51,
-        )
-        self._verifier_local = threading.local()
-        self._verifier_local.identity = self._querier_identity
+        # Authenticators counted in ``auth_checks_skipped`` because they
+        # fell below a partial-segment anchor, keyed node -> {signature:
+        # Authenticator}. A later build whose segment reaches far enough
+        # back retroactively checks them (compute's pending loop) instead
+        # of silently dropping the coverage; entries drain when verified
+        # (``auth_checks_recovered``) and survive invalidate() — they are
+        # coverage debt, not chain trust.
+        self._pending_skipped = {}
+        # Per-batch memo of factory → encoded wire spec (reset by
+        # _run_batch): nodes sharing one AppFactory ship one snapshot.
+        self._batch_spec_cache = {}
+        self._context = None
+        self._context_nodes = None
+        prepare = getattr(self.executor, "prepare", None)
+        if prepare is not None and deployment.nodes:
+            # Warm pooled executors at construction so the first query
+            # batch does not pay process spawn.
+            prepare(self._build_context())
 
     def close(self):
-        """Release the executor's worker threads (serial: a no-op).
-        Pass-through executors only need ``run``; ``close`` is optional."""
+        """Release the executor's worker threads/processes. Only executors
+        this querier created (from a spec) are closed; a shared instance
+        passed in by the caller is left running."""
+        if not self._owns_executor:
+            return
         close = getattr(self.executor, "close", None)
         if close is not None:
             close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    def _build_context(self):
+        """The compute step's per-deployment context (rebuilt only when the
+        deployment's node set changes)."""
+        nodes = self.deployment.nodes
+        if self._context is None or self._context_nodes != set(nodes):
+            self._context = BuildContext(
+                {n: self.deployment.public_key_of(n) for n in nodes},
+                verify_embedded_signatures=self.verify_embedded_signatures,
+                t_prop=self.deployment.effective_t_prop(),
+            )
+            self._context_nodes = set(nodes)
+        return self._context
 
     # ------------------------------------------------------------- views
 
@@ -230,7 +560,7 @@ class MicroQuerier:
     def build_views(self, node_ids):
         """Ensure views exist for *node_ids*; returns ``{node_id: view}``.
 
-        Missing views are built through the executor: the node-local
+        Missing views are built through the executor: the fetch+compute
         pipeline runs per node (possibly concurrently), then results are
         finalized on this thread in canonical node order — so the evidence
         a node's chain is checked against is exactly what a serial build
@@ -246,8 +576,7 @@ class MicroQuerier:
                          key=str)
         if missing:
             self._run_batch(
-                missing,
-                [self._full_build_task(node_id) for node_id in missing],
+                missing, [_BuildJob(self, node_id) for node_id in missing]
             )
         return {node_id: self._views[node_id] for node_id in wanted}
 
@@ -294,7 +623,7 @@ class MicroQuerier:
         return self._views[node_id]
 
     def _refresh_batch(self, node_ids):
-        batched, tasks = [], []
+        batched, jobs = [], []
         for node_id in node_ids:
             view = self._views[node_id]
             self.stats.refreshes += 1
@@ -302,25 +631,31 @@ class MicroQuerier:
                 continue  # kept: signed proof does not expire
             batched.append(node_id)
             if view.status == OK:
-                tasks.append(self._extend_task(node_id, view))
+                jobs.append(_BuildJob(self, node_id, base_view=view))
             else:
-                tasks.append(self._full_build_task(node_id))
-        self._run_batch(batched, tasks)
+                jobs.append(_BuildJob(self, node_id))
+        self._run_batch(batched, jobs)
 
-    def _run_batch(self, node_ids, tasks):
-        """Run one batch of build/extend tasks and finalize each outcome.
+    def _run_batch(self, node_ids, jobs):
+        """Run one batch of build/extend jobs and finalize each outcome.
 
-        Expected fault conditions never escape a task (they become
+        Expected fault conditions never escape a job (they become
         verdicts); if something *unexpected* does, the batch aborts —
         and any member not yet finalized may hold a cached view whose
-        retained replay a worker already advanced past its committed
-        head. Such views must not survive (a later refresh would replay
-        the same suffix twice), so every un-finalized member is
-        invalidated before the error propagates.
+        retained replay was already advanced past its committed head.
+        Such views must not survive (a later refresh would replay the
+        same suffix twice), so every un-finalized member is invalidated
+        before the error propagates.
         """
+        if not jobs:
+            return
+        context = self._build_context()
+        # Fresh per batch: the deployment may have run on since the last
+        # batch, so factory-spec snapshots must not outlive one batch.
+        self._batch_spec_cache = {}
         finalized = set()
         try:
-            for outcome in self.executor.run(tasks):
+            for outcome in self._run_jobs(jobs, context):
                 self._views[outcome.node] = self._finalize(outcome)
                 finalized.add(outcome.node)
         except BaseException:
@@ -329,182 +664,19 @@ class MicroQuerier:
                     self.invalidate(node_id)
             raise
 
-    def _full_build_task(self, node_id):
-        def task():
-            return self._build_phase_a(node_id, QueryStats())
-        return task
-
-    def _extend_task(self, node_id, view):
-        def task():
-            return self._extend_phase_a(node_id, view, QueryStats())
-        return task
-
-    # ------------------------------------------- node-local phase (workers)
-
-    def _extend_phase_a(self, node_id, view, stats):
-        """Extend an ``ok`` view by its host's log suffix (or a mirror's).
-
-        Node-local only: reads the deployment and this node's own memo
-        snapshot, writes nothing shared. May mutate *view*'s retained
-        replay (this task owns the view until finalize commits or
-        discards it).
-        """
-        node = self.deployment.nodes.get(node_id)
-        response = None
-        if node is not None:
-            response = node.retrieve(since_index=view.head_index)
-        from_mirror = False
-        if response is None:
-            response = self.deployment.find_mirror(
-                node_id, since_index=view.head_index
-            )
-            from_mirror = response is not None
-            if from_mirror:
-                response.from_mirror = True
-        outcome = _BuildOutcome(node_id, "extended", stats)
-        if response is None:
-            # unreachable: the stale view stays verified
-            return outcome.finalized(view)
-        self._simulate_transfer(response)
-        if response.start_index != view.head_index + 1:
-            # The responder did not (or could not) anchor at our head —
-            # e.g. a log shorter than the verified head, or a replica that
-            # only holds an older segment. Fall back to a full build: the
-            # harvested evidence (which includes the old signed head)
-            # still exposes any fork during full verification. The
-            # response in hand is reused so the node is not asked to ship
-            # its log twice — unless a checkpoint-anchored refetch is
-            # preferred, in which case the discarded transfer still
-            # happened and must be accounted.
-            if self.use_checkpoints and not from_mirror:
-                self._account_response(response, stats)
-                return self._build_phase_a(node_id, stats)
-            return self._build_phase_a(node_id, stats, response=response,
-                                       from_mirror=from_mirror)
-        outcome.base_view = view
-        outcome.from_mirror = from_mirror
-        stats.delta_fetches += 1
-        self._account_response(response, stats)
-
-        started = time.perf_counter()
-        try:
-            if response.start_hash != view.head_hash:
-                raise LogVerificationError(
-                    node_id,
-                    f"suffix after entry {view.head_index} does not "
-                    "continue the verified chain (fork after cached head)",
-                )
-            hashes, cursor = self._verify_response_local(
-                node_id, response, outcome,
-                known=self._checked_auths.get(node_id, frozenset()),
-                base_cursor=self._consistency_cursors.get(node_id),
-            )
-        except (LogVerificationError, AuthenticationError) as exc:
-            stats.auth_check_seconds += time.perf_counter() - started
-            if from_mirror:
-                # A corrupt replica cannot frame the origin; the origin is
-                # merely unreachable right now, so the view stays stale.
-                return outcome.finalized(view)
-            return outcome.finalized(
-                NodeView(node_id, PROVEN_FAULTY, verdict_reason=str(exc))
-            )
-        stats.auth_check_seconds += time.perf_counter() - started
-        outcome.response = response
-        outcome.hashes = hashes
-        outcome.cursor = cursor
-
-        if not response.entries:
-            # Nothing appended; the fresh head authenticator was checked
-            # against the cached head hash above, confirming no fork. The
-            # deferred evidence checks still run at finalize.
-            return outcome
-        alarms = self.deployment.maintainer.alarmed_msg_ids()
-        outcome.replay_mutated = True
-        _processed, _elapsed, failure = extend_replay(
-            node_id, view.replay, response, known_alarm_msg_ids=alarms,
-            stats=stats,
+    def _run_jobs(self, jobs, context):
+        """Schedule a batch onto the executor. Rich executors take the
+        jobs themselves (``run_jobs``); plain ones — including any
+        pass-through executor a caller supplies — get zero-arg tasks, the
+        pre-existing contract."""
+        run_jobs = getattr(self.executor, "run_jobs", None)
+        if run_jobs is not None:
+            return run_jobs(jobs, context)
+        return self.executor.run(
+            [functools.partial(job.run_local, context) for job in jobs]
         )
-        if failure is not None:
-            return outcome.finalized(
-                NodeView(node_id, PROVEN_FAULTY,
-                         verdict_reason=str(failure), replay=view.replay)
-            )
-        return outcome
 
-    def _build_phase_a(self, node_id, stats, response=None,
-                       from_mirror=False):
-        """Build a view from scratch, node-locally. *response*
-        short-circuits retrieval when the caller already holds a full
-        response (the refresh fallback path) — trust in the chain is
-        established from zero either way, so the memoized evidence checks
-        and the consistency cursor are dropped at finalize."""
-        outcome = _BuildOutcome(node_id, "built", stats)
-        outcome.reset_memo = True
-        node = self.deployment.nodes.get(node_id)
-        if response is None:
-            if node is not None:
-                response = node.retrieve(from_checkpoint=self.use_checkpoints)
-            if response is None:
-                # Section 5.8 extension: fall back to a replicated copy of
-                # the log. The mirror is verified exactly like a direct
-                # response (hash chain + origin's signed head), so a lying
-                # replica cannot frame the origin.
-                response = self.deployment.find_mirror(node_id)
-                from_mirror = response is not None
-                if from_mirror:
-                    response.from_mirror = True
-            if response is not None:
-                self._simulate_transfer(response)
-        if response is None:
-            return outcome.finalized(
-                NodeView(node_id, UNREACHABLE,
-                         verdict_reason="no response to retrieve")
-            )
-        outcome.from_mirror = from_mirror
-        self._account_response(response, stats)
-        if response.checkpoint is not None:
-            stats.checkpoint_bytes += response.checkpoint.size_bytes()
-            stats.checkpoint_bytes += self._snapshot_size(
-                response.checkpoint
-            )
-
-        started = time.perf_counter()
-        try:
-            hashes, cursor = self._verify_response_local(
-                node_id, response, outcome,
-                known=frozenset(), base_cursor=None,
-            )
-        except (LogVerificationError, AuthenticationError) as exc:
-            stats.auth_check_seconds += time.perf_counter() - started
-            if from_mirror:
-                # A corrupt *mirror* is not evidence against the origin —
-                # the replica may be the liar. The origin merely remains
-                # unreachable (its vertices stay yellow).
-                return outcome.finalized(
-                    NodeView(node_id, UNREACHABLE,
-                             verdict_reason=f"bad mirror: {exc}")
-                )
-            return outcome.finalized(
-                NodeView(node_id, PROVEN_FAULTY, verdict_reason=str(exc))
-            )
-        stats.auth_check_seconds += time.perf_counter() - started
-
-        alarms = self.deployment.maintainer.alarmed_msg_ids()
-        result = replay_segment(
-            node_id, response, self.deployment.app_factories[node_id],
-            t_prop=self.deployment.effective_t_prop(),
-            known_alarm_msg_ids=alarms, stats=stats,
-        )
-        if not result.ok:
-            return outcome.finalized(
-                NodeView(node_id, PROVEN_FAULTY,
-                         verdict_reason=str(result.failure), replay=result)
-            )
-        outcome.response = response
-        outcome.hashes = hashes
-        outcome.cursor = cursor
-        outcome.replay_result = result
-        return outcome
+    # ---------------------------------------------- fetch-side accounting
 
     def _simulate_transfer(self, response):
         """Model the download of one retrieved segment when the deployment
@@ -541,7 +713,7 @@ class MicroQuerier:
         """Commit one node-local outcome against the querier-shared state.
 
         Runs on the calling thread, invoked in canonical node order over
-        a batch: merges the worker's stats, replays the deferred
+        a batch: merges the job's stats, replays the deferred
         evidence-store checks against everything harvested from nodes
         earlier in the order, then harvests this node's evidence — the
         exact sequence a serial build of the batch would follow.
@@ -561,14 +733,15 @@ class MicroQuerier:
                     return NodeView(node_id, UNREACHABLE,
                                     verdict_reason=f"bad mirror: {exc}")
                 if outcome.replay_mutated:
-                    # The kept view's retained replay was already advanced
-                    # past its committed head — it must not stay
-                    # extendable (a later refresh would replay the same
-                    # suffix twice). Rebuild trust from scratch instead;
-                    # this tail-of-batch case is rare (pre-batch evidence
-                    # was checked before replay, node-locally).
+                    # The kept view's committed-head replay state was
+                    # already advanced — it must not stay extendable (a
+                    # later refresh would replay the same suffix twice).
+                    # Rebuild trust from scratch instead; this
+                    # tail-of-batch case is rare (pre-batch evidence was
+                    # checked before replay, in the compute step).
+                    job = _BuildJob(self, node_id)
                     return self._finalize(
-                        self._build_phase_a(node_id, QueryStats())
+                        job.run_local(self._build_context())
                     )
                 return outcome.base_view  # stale but verified view kept
             return NodeView(node_id, PROVEN_FAULTY,
@@ -579,6 +752,7 @@ class MicroQuerier:
             )
         if outcome.cursor is not None:
             self._consistency_cursors[node_id] = outcome.cursor
+        self._commit_pending_skips(node_id, outcome)
 
         response = outcome.response
         if outcome.kind == "built":
@@ -593,28 +767,56 @@ class MicroQuerier:
                 head_time = response.checkpoint.timestamp
             else:
                 head_time = float("-inf")
-            return NodeView(node_id, OK, graph=result.graph,
-                            log_len=end_index, replay=result,
+            return NodeView(node_id, OK, log_len=end_index, replay=result,
                             head_index=end_index, head_hash=head_hash,
                             head_time=head_time)
         view = outcome.base_view
         if response.entries:
             self._harvest_evidence(response)
+            # Rebind rather than rely on in-place mutation: with an
+            # in-process compute this is the same object; over a process
+            # boundary it is the (lazily-held) extended replay.
+            view.install_replay(outcome.replay_result)
             view.head_index = response.start_index + len(response.entries) - 1
             view.head_hash = outcome.hashes[-1]
             view.head_time = response.entries[-1].timestamp
             view.log_len = view.head_index
         return view
 
+    def _commit_pending_skips(self, node_id, outcome):
+        """Drain retroactively checked authenticators from the pending
+        registry and admit the pass's newly skipped ones."""
+        pending = self._pending_skipped.get(node_id)
+        if pending:
+            for sig in outcome.recovered:
+                pending.pop(sig, None)
+            if not pending:
+                del self._pending_skipped[node_id]
+        if outcome.skipped:
+            known = self._checked_auths.get(node_id, frozenset())
+            table = self._pending_skipped.setdefault(node_id, {})
+            for auth in outcome.skipped:
+                sig = bytes(auth.signature)
+                if sig in known or sig in outcome.checked:
+                    continue
+                table.setdefault(sig, auth)
+
+    def pending_skipped(self, node_id):
+        """The (peer, index) pairs of authenticators whose check is still
+        owed for *node_id* — evidence counted in ``auth_checks_skipped``
+        that no verified segment has reached yet."""
+        table = self._pending_skipped.get(node_id, {})
+        return sorted((auth.node, auth.index) for auth in table.values())
+
     def _check_harvested_evidence(self, outcome):
         """The within-batch tail of the evidence-store checks.
 
-        The node-local phase already checked the evidence held when the
-        batch started (``outcome.evidence_prefix`` entries, before paying
-        for replay — the store's per-node lists are append-only and
-        frozen while workers run); what remains is whatever finalizing
-        *earlier* nodes of this batch harvested since. Raises
-        LogVerificationError on mismatch — *proof* of a fork or rewrite.
+        The compute step already checked the evidence held when the batch
+        started (``outcome.evidence_prefix`` entries, before paying for
+        replay — the store's per-node lists are append-only and frozen
+        while jobs run); what remains is whatever finalizing *earlier*
+        nodes of this batch harvested since. Raises LogVerificationError
+        on mismatch — *proof* of a fork or rewrite.
         """
         node_id = outcome.node
         known = self._checked_auths.get(node_id, frozenset())
@@ -627,164 +829,9 @@ class MicroQuerier:
                     continue
                 check_against_authenticator(outcome.response, outcome.hashes,
                                             auth, self.stats)
-                self._note_checked(outcome.checked, outcome.response, auth)
+                note_checked(outcome.checked, outcome.response, auth)
         finally:
             self.stats.auth_check_seconds += time.perf_counter() - started
-
-    # -------------------------------------------------------- verification
-
-    def _thread_verifier(self):
-        """The verifier for the current thread (created lazily for
-        executor workers). Verification never uses the verifier's own
-        key — only its op counter must not be shared — so workers get a
-        keypair-less :class:`_WorkerVerifier` instead of paying RSA
-        keygen + certification per thread."""
-        identity = getattr(self._verifier_local, "identity", None)
-        if identity is None:
-            identity = _WorkerVerifier()
-            self._verifier_local.identity = identity
-        return identity
-
-    def _verify_auth(self, public_key, auth, stats):
-        """Signature check with accounting (Figure 8's verification cost)."""
-        stats.signatures_verified += 1
-        verify_authenticator(self._thread_verifier(), public_key, auth)
-
-    def _verify_response_local(self, node_id, response, outcome, known,
-                               base_cursor):
-        """The node-local checks that can *prove* the node faulty.
-
-        1. The fresh head authenticator must be validly signed and match
-           the recomputed hash chain.
-        2. Every evidence authenticator the querier *already* holds for
-           this node must lie on the returned chain. The evidence store is
-           frozen while node-local tasks run (harvesting only happens at
-           finalize, after the whole batch), so this prefix is safe to
-           read concurrently; its length is recorded on the outcome and
-           finalize checks only the tail harvested later in the batch.
-        3. Embedded authenticators in rcv/ack entries must carry valid
-           signatures from their claimed signers (a node cannot launder a
-           forged message into its log).
-        4. Consistency check (Section 5.5): authenticators other nodes hold
-           about this node must lie on the same chain — two signed heads
-           off-chain expose equivocation. Collection resumes from
-           *base_cursor*, so a refresh scans only evidence received since
-           the last pass.
-
-        Returns ``(hashes, cursor)``: the recomputed chain hashes aligned
-        with the entries (the last one is the verified head a later
-        refresh extends from) and the advanced consistency cursor (None
-        when the consistency check is disabled). Works for full,
-        checkpoint-anchored and delta responses alike; evidence that was
-        *never* checkable against any verified segment is counted as
-        skipped in the stats (per verification pass), while evidence
-        already verified on this same chain (*known* ∪ checked-this-pass)
-        is neither re-verified, re-compared nor re-counted.
-        """
-        stats = outcome.stats
-        public_key = self.deployment.public_key_of(node_id)
-        self._verify_auth(public_key, response.head_auth, stats)
-        hashes = verify_segment_hashes(response)
-        check_against_authenticator(response, hashes, response.head_auth,
-                                    stats)
-        held = self.evidence.for_node(node_id)
-        outcome.evidence_prefix = len(held)
-        for auth in held:
-            sig = bytes(auth.signature)
-            if sig in known or sig in outcome.checked:
-                continue
-            check_against_authenticator(response, hashes, auth, stats)
-            self._note_checked(outcome.checked, response, auth)
-        if response.checkpoint is not None:
-            self._verify_checkpoint(node_id, response.checkpoint)
-        if self.verify_embedded_signatures:
-            self._verify_embedded(node_id, response, stats)
-        cursor = None
-        if self.run_consistency_check:
-            cursor = self._consistency_check(node_id, response, hashes,
-                                             stats, outcome.checked, known,
-                                             base_cursor)
-        return hashes, cursor
-
-    @staticmethod
-    def _note_checked(checked, response, auth):
-        """Memoize an authenticator that was actually compared against the
-        verified chain (not one merely skipped as pre-anchor): a later
-        refresh extends the same chain, so the comparison stays valid.
-        Notes land in the outcome-local set and are committed to the
-        querier's memo only when the view finalizes ``ok``."""
-        first = response.start_index
-        last = first + len(response.entries) - 1
-        if first - 1 <= auth.index <= last:
-            checked.add(bytes(auth.signature))
-
-    def _verify_checkpoint(self, node_id, chk_entry):
-        """Verify the checkpoint's tuple lists against the Merkle roots
-        committed in the log entry (Section 7.7: the Quagga-Disappear
-        query spends most of its time 'verifying partial checkpoints using
-        a Merkle Hash Tree'). A mismatch means the node's replay seed does
-        not match what it committed to — proof of tampering."""
-        from repro.crypto.merkle import MerkleTree
-        _tag, local_root, belief_root, n_local, n_believed = \
-            chk_entry.content
-        extant = chk_entry.aux.get("extant", [])
-        believed = chk_entry.aux.get("believed", [])
-        if len(extant) != n_local or len(believed) != n_believed:
-            raise LogVerificationError(
-                node_id, "checkpoint tuple counts do not match commitment"
-            )
-        local_tree = MerkleTree(
-            [(tup.canonical(), appeared) for tup, appeared in extant]
-        )
-        belief_tree = MerkleTree(
-            [(tup.canonical(), peer, appeared)
-             for tup, peer, appeared in believed]
-        )
-        if local_tree.root() != local_root \
-                or belief_tree.root() != belief_root:
-            raise LogVerificationError(
-                node_id, "checkpoint contents fail Merkle verification"
-            )
-
-    def _verify_embedded(self, node_id, response, stats):
-        for entry in response.entries:
-            if entry.entry_type == RCV:
-                auth = entry.aux.get("batch_auth")
-                if auth is None:
-                    raise LogVerificationError(
-                        node_id, f"rcv entry {entry.index} lacks evidence"
-                    )
-                sender_key = self.deployment.public_key_of(auth.node)
-                self._verify_auth(sender_key, auth, stats)
-            elif entry.entry_type == ACK:
-                wire_ack = entry.aux.get("wire_ack")
-                if wire_ack is None:
-                    raise LogVerificationError(
-                        node_id, f"ack entry {entry.index} lacks evidence"
-                    )
-                acker_key = self.deployment.public_key_of(wire_ack.src)
-                self._verify_auth(acker_key, wire_ack.auth, stats)
-
-    def _consistency_check(self, node_id, response, hashes, stats, checked,
-                           known, base_cursor):
-        """Ask all other nodes for authenticators signed by *node_id* and
-        check each against the retrieved chain (Section 5.5). Returns the
-        advanced collection cursor."""
-        public_key = self.deployment.public_key_of(node_id)
-        auths, cursor = self.deployment.collect_authenticators_about_since(
-            node_id, base_cursor
-        )
-        for auth in auths:
-            sig = bytes(auth.signature)
-            if sig in known or sig in checked:
-                continue  # verified on this same chain in an earlier pass
-            try:
-                self._verify_auth(public_key, auth, stats)
-            except AuthenticationError:
-                continue  # not actually signed by node_id; ignore
-            check_against_authenticator(response, hashes, auth, stats)
-            self._note_checked(checked, response, auth)
-        return cursor
 
     def _harvest_evidence(self, response):
         """Collect the authenticators embedded in a verified log into the

@@ -104,9 +104,16 @@ class QueryProcessor:
     *executor* selects how per-node view builds are scheduled (see
     :mod:`repro.snp.executor`): ``None``/``"serial"`` builds one node at a
     time (the default), an int ``n > 1`` builds up to n nodes' views
-    concurrently. Exploration prefetches each BFS level's unvisited hosts
-    as one batch, so a cold macroquery against a wide deployment overlaps
-    its per-node downloads; results are identical for every executor.
+    concurrently on threads, ``"process:n"`` backs the verify+replay step
+    with n worker processes. Exploration prefetches each BFS level's
+    unvisited hosts as one batch, so a cold macroquery against a wide
+    deployment overlaps its per-node downloads; results are identical for
+    every executor.
+
+    The processor *owns* an executor it builds from a spec and closes it
+    in :meth:`close` — use the processor as a context manager so warm
+    thread/process pools are never leaked across deployments or test
+    runs. An executor instance passed in stays the caller's to manage.
     """
 
     def __init__(self, deployment, use_checkpoints=False, executor=None,
@@ -119,8 +126,15 @@ class QueryProcessor:
         self.epoch = 0
 
     def close(self):
-        """Release executor worker threads (serial executor: a no-op)."""
+        """Release owned executor workers (serial executor: a no-op)."""
         self.mq.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
 
     # ------------------------------------------------------------ freshness
 

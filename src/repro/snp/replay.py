@@ -106,7 +106,8 @@ def verify_segment_hashes(response):
     return hashes
 
 
-def check_against_authenticator(response, hashes, auth, stats=None):
+def check_against_authenticator(response, hashes, auth, stats=None,
+                                on_skip=None):
     """Check that evidence authenticator *auth* lies on this chain.
 
     The authenticator's (index, hash) must match the segment. Raises
@@ -119,7 +120,9 @@ def check_against_authenticator(response, hashes, auth, stats=None):
     so an authenticator for entry ``start-1`` is checkable too. Evidence
     strictly before that genuinely cannot be compared against the segment;
     those skips are counted on *stats* (``auth_checks_skipped``) so the
-    coverage loss is visible instead of silent.
+    coverage loss is visible instead of silent, and reported to *on_skip*
+    (called with the authenticator) so the caller can remember them for a
+    retroactive check by a later, wider build.
     """
     index = auth.index
     first = response.start_index
@@ -135,6 +138,8 @@ def check_against_authenticator(response, hashes, auth, stats=None):
     if index < first - 1:
         if stats is not None:
             stats.auth_checks_skipped += 1
+        if on_skip is not None:
+            on_skip(auth)
         return  # authenticator predates the segment; nothing to compare
     if index > last:
         raise LogVerificationError(

@@ -1,0 +1,806 @@
+"""The wire layer: what may cross a process boundary, and how.
+
+Process-pool view builds (see DESIGN.md, "Process-pool builds") split a
+node's build into a *fetch* step on the coordinator and a *verify+replay*
+step that may run in a worker process. Everything crossing that boundary
+is governed by this module's serialization contract:
+
+* **Value objects pickle through their constructors.** ``Tup`` and
+  ``Msg`` memoize ``hash()`` of their fields at construction, and
+  per-process hash randomization makes those values process-specific; an
+  instance pickled whole would carry the *coordinator's* hash into a
+  worker whose own constructions hash differently — equal keys landing in
+  different dict buckets. Their ``__reduce__`` therefore rebuilds through
+  ``__init__``, making every unpickled object native to the process using
+  it. Bulk payloads (log segments, provenance graphs, machine snapshots)
+  ride this contract at native pickle speed.
+* **Unpicklable machinery gets an explicit wire form.** Application state
+  machines close over compiled rules (guard lambdas) — they cross as
+  *snapshots* plus a registry spec (see :mod:`repro.apps`) and are
+  rebuilt lazily on the far side. Replay's retained GCA crosses as graph
+  + bookkeeping + snapshots via :func:`replay_to_wire` /
+  :func:`replay_from_wire`. Log entries drop the aux keys replay never
+  reads (:func:`sanitize_response`), so a node-side object like a
+  ``WireBatch`` can never drag hidden state across.
+* **Specs and metadata go through the validating codec.**
+  :func:`value_to_wire` / :func:`value_from_wire` encode nested plain
+  data and registered value types as tagged builtins — anything else
+  raises :class:`WireError` — and snapshot mutable inputs (e.g. a
+  MapReduce content store) at encode time.
+
+Wire-typed here: ``RetrieveResponse``/checkpoints, hash-chain material
+(authenticators, chain hashes), ``ReplayResult`` + GCA, ``QueryStats``,
+the :class:`BuildWork`/:class:`BuildContext` inputs of the compute step,
+and the :class:`CompactOutcome` it hands back.
+
+The compute step itself — :func:`compute_build` — also lives here: it is
+a pure function of a work item and a context, mutating only objects the
+work item owns, and is the *single* code path every executor (serial,
+thread, wire-check, process) runs, which is what makes the bit-identical
+equivalence argument structural rather than statistical.
+"""
+
+import time
+
+from repro.crypto.rsa import RsaKeyPair
+from repro.metrics import QueryStats
+from repro.model import Ack, Msg, Tup
+from repro.snp.evidence import Authenticator
+from repro.snp.log import LogEntry, INS, DEL, SND, RCV, ACK, CHK
+from repro.snp.replay import (
+    ReplayResult, check_against_authenticator, extend_replay,
+    replay_segment, verify_segment_hashes,
+)
+from repro.util.errors import (
+    AuthenticationError, LogVerificationError, ReplayDivergence, ReproError,
+)
+from repro.util.serialization import canonical_bytes
+
+
+class WireError(ReproError):
+    """A value cannot be represented on (or decoded from) the wire."""
+
+
+# ---------------------------------------------------------------- values
+
+_PRIMITIVES = (bool, int, float, str, bytes)
+
+_TUPLE_TAG = "W.t"
+_LIST_TAG = "W.l"
+_SET_TAG = "W.set"
+_FROZENSET_TAG = "W.fset"
+_DICT_TAG = "W.d"
+_TUP_TAG = "W.tup"
+_MSG_TAG = "W.msg"
+_ACK_TAG = "W.ack"
+_DER_TAG = "W.der"
+_AUTH_TAG = "W.auth"
+
+
+def value_to_wire(value):
+    """Encode *value* (a nested structure of builtins and known value
+    objects) as tagged plain builtins. Containers are tag-wrapped, so raw
+    data that happens to look like a tag cannot be misread: every tuple in
+    a wire form was produced by this encoder. Mutable containers are
+    snapshotted by the encoding itself."""
+    if value is None or isinstance(value, _PRIMITIVES):
+        return value
+    if isinstance(value, Tup):
+        return (_TUP_TAG, value_to_wire(value.relation),
+                value_to_wire(value.loc),
+                tuple(value_to_wire(a) for a in value.args))
+    if isinstance(value, Msg):
+        return (_MSG_TAG, value.polarity, value_to_wire(value.tup),
+                value_to_wire(value.src), value_to_wire(value.dst),
+                value.seq, value.t_sent)
+    if isinstance(value, Ack):
+        return (_ACK_TAG, value_to_wire(value.src), value_to_wire(value.dst),
+                tuple(value_to_wire(m) for m in value.msgs), value.t_sent)
+    if isinstance(value, Authenticator):
+        return (_AUTH_TAG, value_to_wire(value.node), value.index,
+                value.timestamp, value.entry_hash, bytes(value.signature))
+    if isinstance(value, tuple):
+        return (_TUPLE_TAG, tuple(value_to_wire(v) for v in value))
+    if isinstance(value, list):
+        return (_LIST_TAG, tuple(value_to_wire(v) for v in value))
+    if isinstance(value, (set, frozenset)):
+        tag = _FROZENSET_TAG if isinstance(value, frozenset) else _SET_TAG
+        return (tag, tuple(sorted((value_to_wire(v) for v in value),
+                                  key=repr)))
+    if isinstance(value, dict):
+        return (_DICT_TAG, tuple((value_to_wire(k), value_to_wire(v))
+                                 for k, v in value.items()))
+    # DerivationInstance lives in datalog snapshots; import lazily to keep
+    # this module's import footprint small for spawned workers.
+    from repro.datalog.store import DerivationInstance
+    if isinstance(value, DerivationInstance):
+        return (_DER_TAG, value.rule,
+                tuple(value_to_wire(s) for s in value.support))
+    raise WireError(
+        f"cannot wire-encode a {type(value).__name__}: only plain data and "
+        "registered value types may cross the process boundary"
+    )
+
+
+def value_from_wire(wire):
+    """Rebuild the value :func:`value_to_wire` encoded, constructing every
+    value object afresh in the current process."""
+    if wire is None or isinstance(wire, _PRIMITIVES):
+        return wire
+    if isinstance(wire, tuple) and wire:
+        tag = wire[0]
+        if tag == _TUP_TAG:
+            _t, relation, loc, args = wire
+            return Tup(value_from_wire(relation), value_from_wire(loc),
+                       *[value_from_wire(a) for a in args])
+        if tag == _MSG_TAG:
+            _t, polarity, tup, src, dst, seq, t_sent = wire
+            return Msg(polarity, value_from_wire(tup), value_from_wire(src),
+                       value_from_wire(dst), seq, t_sent)
+        if tag == _ACK_TAG:
+            _t, src, dst, msgs, t_sent = wire
+            return Ack(value_from_wire(src), value_from_wire(dst),
+                       [value_from_wire(m) for m in msgs], t_sent)
+        if tag == _AUTH_TAG:
+            _t, node, index, timestamp, entry_hash, signature = wire
+            return Authenticator(value_from_wire(node), index, timestamp,
+                                 entry_hash, signature)
+        if tag == _TUPLE_TAG:
+            return tuple(value_from_wire(v) for v in wire[1])
+        if tag == _LIST_TAG:
+            return [value_from_wire(v) for v in wire[1]]
+        if tag == _SET_TAG:
+            return {value_from_wire(v) for v in wire[1]}
+        if tag == _FROZENSET_TAG:
+            return frozenset(value_from_wire(v) for v in wire[1])
+        if tag == _DICT_TAG:
+            return {value_from_wire(k): value_from_wire(v)
+                    for k, v in wire[1]}
+        if tag == _DER_TAG:
+            from repro.datalog.store import DerivationInstance
+            _t, rule, support = wire
+            return DerivationInstance(
+                rule, tuple(value_from_wire(s) for s in support)
+            )
+    raise WireError(f"unrecognized wire form {wire!r}")
+
+
+# ------------------------------------------------- log segments / evidence
+
+#: Wire-relevant aux keys per entry type. ``aux`` is a simulation
+#: convenience (parsed objects so the querier does not re-decode content);
+#: anything not listed — e.g. the receiver-side ``batch`` an ack entry
+#: remembers — stays home.
+_AUX_KEYS = {
+    INS: ("tup",), DEL: ("tup",), SND: ("msg",),
+    RCV: ("msg", "batch_auth"), ACK: ("wire_ack",),
+    CHK: ("snapshot", "extant", "believed"),
+}
+
+
+def sanitize_entry(entry):
+    """The wire form of a log entry: the entry itself, with any aux key
+    the audit path never reads stripped (a shallow copy is made only when
+    something must go). Entries are value objects — content, hashes, and
+    the parsed aux all pickle under the constructor-rebuilding contract.
+    """
+    keys = _AUX_KEYS.get(entry.entry_type, ())
+    trimmed = {k: entry.aux[k] for k in keys if k in entry.aux}
+    if len(trimmed) == len(entry.aux):
+        return entry
+    return LogEntry(entry.index, entry.timestamp, entry.entry_type,
+                    entry.content, entry.content_hash, entry.entry_hash,
+                    aux=trimmed)
+
+
+def sanitize_response(response):
+    """The wire form of a RetrieveResponse: itself, with entries
+    sanitized. Only entries that carry non-wire aux (ack entries remember
+    the sender-side ``WireBatch``) are copied."""
+    from repro.snp.snoopy import RetrieveResponse
+    entries = [sanitize_entry(e) for e in response.entries]
+    checkpoint = (None if response.checkpoint is None
+                  else sanitize_entry(response.checkpoint))
+    if checkpoint is response.checkpoint and all(
+            new is old for new, old in zip(entries, response.entries)):
+        return response
+    return RetrieveResponse(
+        node=response.node, entries=entries,
+        start_index=response.start_index, start_hash=response.start_hash,
+        head_auth=response.head_auth, checkpoint=checkpoint,
+        from_mirror=response.from_mirror,
+    )
+
+
+# ----------------------------------------------------------------- stats
+
+def stats_to_wire(stats):
+    return tuple(sorted(stats.as_dict().items()))
+
+
+def stats_from_wire(wire):
+    stats = QueryStats()
+    for field, value in wire:
+        setattr(stats, field, value)
+    return stats
+
+
+# --------------------------------------------------- replay (graph + GCA)
+
+def _failure_to_wire(failure):
+    if failure is None:
+        return None
+    if isinstance(failure, ReplayDivergence):
+        return ("divergence", value_to_wire(failure.node), failure.detail)
+    return ("error", str(failure))
+
+
+def _failure_from_wire(wire):
+    if wire is None:
+        return None
+    if wire[0] == "divergence":
+        return ReplayDivergence(value_from_wire(wire[1]), wire[2])
+    return ReproError(wire[1])
+
+
+def replay_to_wire(result):
+    """Encode a ReplayResult with its retained GCA.
+
+    The graph and the four bookkeeping tables are picklable object
+    payloads (pickle's own memo preserves the vertex sharing between
+    them); the per-node *machines* are not — they close over compiled
+    rules — so they cross as logical snapshots, restored lazily by the
+    receiving side's factory on first use. The response is not encoded;
+    the coordinator reattaches its own copy.
+    """
+    gca = result.gca
+    if gca is None:
+        raise WireError(
+            f"replay result for {result.node!r} does not retain its GCA; "
+            "cannot cross the process boundary"
+        )
+    snapshots = dict(gca.machine_snapshots)  # still-unrestored machines
+    for node, machine in gca.machines.items():
+        snapshots[node] = machine.snapshot()
+    return ("W.replay", result.node, gca.graph, dict(gca._pending),
+            {n: dict(t) for n, t in gca._ackpend.items()},
+            {n: dict(t) for n, t in gca._unacked.items()},
+            set(gca._nopreds), snapshots,
+            frozenset(gca.known_alarm_msg_ids), gca.t_prop,
+            result.events_replayed, result.replay_seconds,
+            _failure_to_wire(result.failure))
+
+
+def replay_from_wire(wire, machine_factory):
+    """Rebuild a live, *extendable* ReplayResult from its wire form.
+
+    *machine_factory* is the node's registered application factory; the
+    machine snapshots are handed to the GCA for lazy restore (replay only
+    ever drives the replayed node's own machine, so one factory covers
+    the table — and a view that is never extended never pays the restore).
+    The result's ``response`` is left None for the caller to reattach.
+    """
+    from repro.provgraph.gca import GraphConstructor
+    (_tag, node, graph, pending, ackpend, unacked, nopreds, snapshots,
+     alarms, t_prop, events_replayed, replay_seconds, failure) = wire
+    gca = GraphConstructor(machine_factory, t_prop=t_prop)
+    gca.graph = graph
+    gca._pending = pending
+    gca._ackpend = ackpend
+    gca._unacked = unacked
+    gca._nopreds = nopreds
+    gca.machine_snapshots = dict(snapshots)
+    gca.known_alarm_msg_ids = alarms
+    return ReplayResult(
+        node=node, graph=gca.graph, machine=None,
+        events_replayed=events_replayed, replay_seconds=replay_seconds,
+        hashes=None, response=None,
+        failure=_failure_from_wire(failure), gca=gca,
+    )
+
+
+class LazyReplay:
+    """A worker-produced replay held as its pickled wire blob.
+
+    Decoding a replayed graph is coordinator-side (GIL-serialized) work,
+    and a standing auditor's queries touch only a fraction of its views —
+    so the coordinator defers the decode until something actually reads
+    the view (a microquery resolving into it, or an in-process extend).
+    A refresh that ships the view back to a worker does not decode at
+    all: the blob crosses the boundary verbatim and the *worker* pays the
+    decode, in parallel.
+    """
+
+    __slots__ = ("blob", "machine_factory", "response", "_result")
+
+    def __init__(self, blob, machine_factory, response=None):
+        self.blob = blob
+        self.machine_factory = machine_factory
+        self.response = response
+        self._result = None
+
+    @property
+    def materialized(self):
+        return self._result is not None
+
+    def materialize(self):
+        if self._result is None:
+            import pickle
+            result = replay_from_wire(pickle.loads(self.blob),
+                                      self.machine_factory)
+            result.response = self.response
+            self._result = result
+        return self._result
+
+    @property
+    def graph(self):
+        return self.materialize().graph
+
+
+def replay_handle_to_wire(replay):
+    """The boundary-crossing form of a replay handle: a LazyReplay's blob
+    passes through untouched (the coordinator never decoded it); a live
+    ReplayResult is encoded."""
+    if isinstance(replay, LazyReplay):
+        return ("W.replayblob", replay.blob)
+    return replay_to_wire(replay)
+
+
+def replay_handle_from_wire(wire, machine_factory):
+    if wire[0] == "W.replayblob":
+        import pickle
+        return replay_from_wire(pickle.loads(wire[1]), machine_factory)
+    return replay_from_wire(wire, machine_factory)
+
+
+# ----------------------------------------------------------- build context
+
+class BuildContext:
+    """The one-time per-pool context of the verify+replay step.
+
+    Everything the compute step may consult beyond its work item: the
+    querier's public-key table, the embedded-signature flag, and the
+    deployment's Tprop bound for replay. Factories are *not* part of the
+    context — a work item carries either a live factory (in-process
+    executors) or a registry spec (process pool, resolved per work item so
+    e.g. a refreshed content store is never stale).
+    """
+
+    __slots__ = ("public_keys", "verify_embedded_signatures", "t_prop",
+                 "_factory_cache")
+
+    def __init__(self, public_keys, verify_embedded_signatures=True,
+                 t_prop=1.0):
+        self.public_keys = public_keys
+        self.verify_embedded_signatures = verify_embedded_signatures
+        self.t_prop = t_prop
+        self._factory_cache = {}
+
+    def to_wire(self):
+        keys = tuple(sorted(
+            ((value_to_wire(node), key.n, key.e)
+             for node, key in self.public_keys.items()),
+            key=repr,
+        ))
+        return ("W.ctx", keys, bool(self.verify_embedded_signatures),
+                self.t_prop)
+
+    @classmethod
+    def from_wire(cls, wire):
+        _tag, keys, verify_embedded, t_prop = wire
+        return cls(
+            {value_from_wire(node): RsaKeyPair(n, e) for node, n, e in keys},
+            verify_embedded_signatures=verify_embedded, t_prop=t_prop,
+        )
+
+    def factory_for(self, node, app_spec):
+        """Resolve a registry spec to a factory (cached per spec)."""
+        if app_spec is None:
+            raise WireError(
+                f"no application spec for node {node!r}; register its "
+                "factory (repro.apps.AppFactory) to build views in a "
+                "process pool"
+            )
+        try:
+            cached = self._factory_cache.get(app_spec)
+        except TypeError:  # unhashable spec — resolve uncached
+            cached = None
+        if cached is not None:
+            return cached
+        from repro.apps import factory_from_spec
+        factory = factory_from_spec(app_spec)
+        try:
+            self._factory_cache[app_spec] = factory
+        except TypeError:
+            pass
+        return factory
+
+
+# --------------------------------------------------------------- the work
+
+class BuildWork:
+    """One node's verify+replay inputs, assembled by the fetch step.
+
+    Owns every mutable object it references (the response, the base
+    replay) for the duration of the compute step. ``known`` is the
+    node's checked-authenticator memo snapshot; ``held`` the frozen
+    evidence-store prefix; ``pending`` the skipped authenticators awaiting
+    a wider segment; ``consistency`` the evidence collected from peers
+    (None when the consistency check is disabled); ``alarms`` the
+    maintainer's known-missing-ack message ids. For extends, ``head_index``
+    / ``head_hash`` anchor the suffix and ``base_replay`` is the retained
+    replay to advance. ``factory`` is the live application factory;
+    ``app_spec`` its registry form (resolved on the far side of a process
+    boundary).
+    """
+
+    __slots__ = ("node", "kind", "response", "known", "held", "pending",
+                 "consistency", "alarms", "head_index", "head_hash",
+                 "base_replay", "factory", "app_spec", "spec_cache")
+
+    def __init__(self, node, kind, response, known=frozenset(), held=(),
+                 pending=(), consistency=None, alarms=frozenset(),
+                 head_index=0, head_hash=None, base_replay=None,
+                 factory=None, app_spec=None, spec_cache=None):
+        self.node = node
+        self.kind = kind
+        self.response = response
+        self.known = known
+        self.held = tuple(held)
+        self.pending = tuple(pending)
+        self.consistency = consistency
+        self.alarms = alarms
+        self.head_index = head_index
+        self.head_hash = head_hash
+        self.base_replay = base_replay
+        self.factory = factory
+        self.app_spec = app_spec
+        #: Batch-scoped memo of factory → encoded spec (the deployment is
+        #: quiescent during a batch, so one snapshot of e.g. a MapReduce
+        #: content store serves every node sharing the factory).
+        self.spec_cache = spec_cache
+
+    def resolve_factory(self, context):
+        if self.factory is not None:
+            return self.factory
+        return context.factory_for(self.node, self.app_spec)
+
+    def to_wire(self):
+        app_spec = self.app_spec
+        if app_spec is None and self.factory is not None:
+            cache = self.spec_cache
+            if cache is not None:
+                app_spec = cache.get(id(self.factory))
+        if app_spec is None and self.factory is not None:
+            wire_spec = getattr(self.factory, "wire_spec", None)
+            if wire_spec is None:
+                raise WireError(
+                    f"the application factory for node {self.node!r} is "
+                    "not registry-backed; hand Deployment.add_node a "
+                    "repro.apps.AppFactory (or register_app) to build "
+                    "views in a process pool"
+                )
+            app_spec = wire_spec()
+            if self.spec_cache is not None:
+                self.spec_cache[id(self.factory)] = app_spec
+        return ("W.work", self.node, self.kind,
+                sanitize_response(self.response),
+                frozenset(self.known), tuple(self.held),
+                tuple(self.pending),
+                None if self.consistency is None
+                else tuple(self.consistency),
+                frozenset(self.alarms),
+                self.head_index, self.head_hash,
+                None if self.base_replay is None
+                else replay_handle_to_wire(self.base_replay),
+                app_spec)
+
+    @classmethod
+    def from_wire(cls, wire, context):
+        (_tag, node, kind, response, known, held, pending, consistency,
+         alarms, head_index, head_hash, base_replay, app_spec) = wire
+        work = cls(
+            node, kind, response, known=known, held=held, pending=pending,
+            consistency=consistency, alarms=alarms,
+            head_index=head_index, head_hash=head_hash, app_spec=app_spec,
+        )
+        if base_replay is not None:
+            work.base_replay = replay_handle_from_wire(
+                base_replay, work.resolve_factory(context)
+            )
+        return work
+
+
+# ------------------------------------------------------------ the outcome
+
+class CompactOutcome:
+    """What the verify+replay step hands back across the worker boundary.
+
+    Replaces the old in-process ``_BuildOutcome`` as the executor-facing
+    result: a status (``ok`` / ``verify-failed`` / ``replay-failed``) plus
+    only value data — recomputed chain hashes, the checked / recovered /
+    newly-skipped authenticator evidence, per-task QueryStats, and the
+    (possibly extended) replay. The coordinator's finalize step interprets
+    it identically whether it was produced in-process or decoded from a
+    worker.
+    """
+
+    __slots__ = ("node", "kind", "status", "reason", "hashes", "checked",
+                 "recovered", "skipped", "stats", "replay_result",
+                 "replay_ran")
+
+    OK = "ok"
+    VERIFY_FAILED = "verify-failed"
+    REPLAY_FAILED = "replay-failed"
+
+    def __init__(self, node, kind):
+        self.node = node
+        self.kind = kind
+        self.status = self.OK
+        self.reason = None
+        self.hashes = None
+        self.checked = set()
+        self.recovered = []
+        self.skipped = []
+        self.stats = None
+        self.replay_result = None
+        #: Whether replay advanced over suffix entries — for extends this
+        #: means the base replay is no longer at its committed head, so a
+        #: view kept on a failure path must not stay extendable.
+        self.replay_ran = False
+
+    def to_wire(self):
+        replay_blob = None
+        if self.replay_result is not None:
+            # Pre-pickled in the worker so the coordinator's (single,
+            # GIL-bound) result thread only has to move bytes; the
+            # decode is deferred until a query touches the view.
+            import pickle
+            replay_blob = pickle.dumps(
+                replay_handle_to_wire(self.replay_result)
+            )
+        return ("W.outcome", self.node, self.kind, self.status, self.reason,
+                None if self.hashes is None else tuple(self.hashes),
+                tuple(sorted(self.checked)), tuple(self.recovered),
+                tuple(self.skipped), stats_to_wire(self.stats),
+                replay_blob, self.replay_ran)
+
+    @classmethod
+    def from_wire(cls, wire, machine_factory):
+        (_tag, node, kind, status, reason, hashes, checked, recovered,
+         skipped, stats, replay_blob, replay_ran) = wire
+        outcome = cls(node, kind)
+        outcome.status = status
+        outcome.reason = reason
+        outcome.hashes = None if hashes is None else list(hashes)
+        outcome.checked = set(checked)
+        outcome.recovered = list(recovered)
+        outcome.skipped = list(skipped)
+        outcome.stats = stats_from_wire(stats)
+        if replay_blob is not None:
+            outcome.replay_result = LazyReplay(replay_blob, machine_factory)
+        outcome.replay_ran = replay_ran
+        return outcome
+
+
+# ------------------------------------------------------- the compute step
+
+def verify_auth(public_key, auth, stats):
+    """Signature check with accounting (Figure 8's verification cost)."""
+    stats.signatures_verified += 1
+    if not public_key.verify(canonical_bytes(auth.payload()),
+                             auth.signature):
+        raise AuthenticationError(
+            f"authenticator from {auth.node!r} has an invalid signature"
+        )
+
+
+def note_checked(checked, response, auth):
+    """Memoize an authenticator that was actually compared against the
+    verified chain (not one merely skipped as pre-anchor): a later refresh
+    extends the same chain, so the comparison stays valid. Notes land in
+    the outcome-local set and are committed to the querier's memo only
+    when the view finalizes ``ok``."""
+    first = response.start_index
+    last = first + len(response.entries) - 1
+    if first - 1 <= auth.index <= last:
+        checked.add(bytes(auth.signature))
+
+
+def verify_checkpoint(node_id, chk_entry):
+    """Verify the checkpoint's tuple lists against the Merkle roots
+    committed in the log entry (Section 7.7: the Quagga-Disappear query
+    spends most of its time 'verifying partial checkpoints using a Merkle
+    Hash Tree'). A mismatch means the node's replay seed does not match
+    what it committed to — proof of tampering."""
+    from repro.crypto.merkle import MerkleTree
+    _tag, local_root, belief_root, n_local, n_believed = chk_entry.content
+    extant = chk_entry.aux.get("extant", [])
+    believed = chk_entry.aux.get("believed", [])
+    if len(extant) != n_local or len(believed) != n_believed:
+        raise LogVerificationError(
+            node_id, "checkpoint tuple counts do not match commitment"
+        )
+    local_tree = MerkleTree(
+        [(tup.canonical(), appeared) for tup, appeared in extant]
+    )
+    belief_tree = MerkleTree(
+        [(tup.canonical(), peer, appeared)
+         for tup, peer, appeared in believed]
+    )
+    if local_tree.root() != local_root \
+            or belief_tree.root() != belief_root:
+        raise LogVerificationError(
+            node_id, "checkpoint contents fail Merkle verification"
+        )
+
+
+def _verify_embedded(node_id, response, context, stats):
+    for entry in response.entries:
+        if entry.entry_type == RCV:
+            auth = entry.aux.get("batch_auth")
+            if auth is None:
+                raise LogVerificationError(
+                    node_id, f"rcv entry {entry.index} lacks evidence"
+                )
+            verify_auth(context.public_keys[auth.node], auth, stats)
+        elif entry.entry_type == ACK:
+            wire_ack = entry.aux.get("wire_ack")
+            if wire_ack is None:
+                raise LogVerificationError(
+                    node_id, f"ack entry {entry.index} lacks evidence"
+                )
+            verify_auth(context.public_keys[wire_ack.src], wire_ack.auth,
+                        stats)
+
+
+def _verify_response(work, context, stats, outcome):
+    """The node-local checks that can *prove* the node faulty.
+
+    1. The fresh head authenticator must be validly signed and match the
+       recomputed hash chain.
+    2. Every evidence authenticator the querier already held for this node
+       (the frozen store prefix in ``work.held``) must lie on the returned
+       chain; evidence already verified on this same chain (``work.known``
+       ∪ checked-this-pass) is neither re-verified nor re-counted.
+    3. Pending skipped authenticators (below an earlier partial-segment
+       anchor) are retroactively checked when this segment reaches far
+       enough back; recovered ones are reported so the registry drains.
+    4. Embedded authenticators in rcv/ack entries must carry valid
+       signatures from their claimed signers.
+    5. Consistency check (Section 5.5): evidence peers hold about this
+       node must lie on the same chain; new below-anchor skips are
+       reported for the pending registry.
+
+    Returns the recomputed chain hashes aligned with the entries.
+    """
+    node_id = work.node
+    response = work.response
+    public_key = context.public_keys[node_id]
+    verify_auth(public_key, response.head_auth, stats)
+    hashes = verify_segment_hashes(response)
+    check_against_authenticator(response, hashes, response.head_auth, stats)
+    for auth in work.held:
+        sig = bytes(auth.signature)
+        if sig in work.known or sig in outcome.checked:
+            continue
+        check_against_authenticator(response, hashes, auth, stats)
+        note_checked(outcome.checked, response, auth)
+    first = response.start_index
+    for auth in work.pending:
+        sig = bytes(auth.signature)
+        if sig in work.known or sig in outcome.checked:
+            outcome.recovered.append(sig)  # verified on this chain already
+            continue
+        if auth.index < first - 1:
+            continue  # still below the anchor; stays pending, not recounted
+        check_against_authenticator(response, hashes, auth, stats)
+        stats.auth_checks_recovered += 1
+        outcome.recovered.append(sig)
+        note_checked(outcome.checked, response, auth)
+    if response.checkpoint is not None:
+        verify_checkpoint(node_id, response.checkpoint)
+    if context.verify_embedded_signatures:
+        _verify_embedded(node_id, response, context, stats)
+    if work.consistency is not None:
+        for auth in work.consistency:
+            sig = bytes(auth.signature)
+            if sig in work.known or sig in outcome.checked:
+                continue  # verified on this same chain in an earlier pass
+            try:
+                verify_auth(public_key, auth, stats)
+            except AuthenticationError:
+                continue  # not actually signed by node_id; ignore
+            check_against_authenticator(response, hashes, auth, stats,
+                                        on_skip=outcome.skipped.append)
+            note_checked(outcome.checked, response, auth)
+    return hashes
+
+
+def compute_build(work, context):
+    """The verify+replay step: a pure function of (work, context).
+
+    Mutates only objects the work item owns (for extends, the base
+    replay). Every executor — serial, threaded, wire-check, process —
+    funnels through this one function, so scheduling can never change
+    what is computed. Expected fault conditions become a status on the
+    returned :class:`CompactOutcome`; only genuinely unexpected errors
+    propagate.
+    """
+    stats = QueryStats()
+    outcome = CompactOutcome(work.node, work.kind)
+    outcome.stats = stats
+    response = work.response
+    started = time.perf_counter()
+    try:
+        if work.kind == "extended" \
+                and response.start_hash != work.head_hash:
+            raise LogVerificationError(
+                work.node,
+                f"suffix after entry {work.head_index} does not "
+                "continue the verified chain (fork after cached head)",
+            )
+        outcome.hashes = _verify_response(work, context, stats, outcome)
+    except (LogVerificationError, AuthenticationError) as exc:
+        stats.auth_check_seconds += time.perf_counter() - started
+        outcome.status = CompactOutcome.VERIFY_FAILED
+        outcome.reason = str(exc)
+        return outcome
+    stats.auth_check_seconds += time.perf_counter() - started
+
+    if work.kind == "extended":
+        if not response.entries:
+            # Nothing appended; the fresh head authenticator was checked
+            # against the cached head hash above, confirming no fork.
+            return outcome
+        outcome.replay_ran = True
+        if isinstance(work.base_replay, LazyReplay):
+            # In-process compute over a lazily-held view: materialize,
+            # then extend in place — exactly the serial semantics.
+            work.base_replay = work.base_replay.materialize()
+        _processed, _elapsed, failure = extend_replay(
+            work.node, work.base_replay, response,
+            known_alarm_msg_ids=work.alarms, stats=stats,
+        )
+        outcome.replay_result = work.base_replay
+        if failure is not None:
+            outcome.status = CompactOutcome.REPLAY_FAILED
+            outcome.reason = str(failure)
+        return outcome
+
+    outcome.replay_ran = True
+    result = replay_segment(
+        work.node, response, work.resolve_factory(context),
+        t_prop=context.t_prop, known_alarm_msg_ids=work.alarms, stats=stats,
+    )
+    outcome.replay_result = result
+    if not result.ok:
+        outcome.status = CompactOutcome.REPLAY_FAILED
+        outcome.reason = str(result.failure)
+    return outcome
+
+
+# ------------------------------------------------------- process-pool side
+
+_POOL_CONTEXT = None
+
+
+def init_worker_process(context_wire):
+    """Per-pool initializer: decode the one-time context once per worker."""
+    global _POOL_CONTEXT
+    _POOL_CONTEXT = BuildContext.from_wire(context_wire)
+
+
+def compute_build_wire(work_wire):
+    """The function a process pool actually runs: wire in, wire out."""
+    if _POOL_CONTEXT is None:
+        raise WireError("worker process was not initialized with a context")
+    work = BuildWork.from_wire(work_wire, _POOL_CONTEXT)
+    return compute_build(work, _POOL_CONTEXT).to_wire()
+
+
+def warm_worker(seconds):
+    """A placeholder task used to force a pool's workers to spawn (and run
+    their initializer) ahead of the first real batch."""
+    time.sleep(seconds)
+    return True

@@ -1,0 +1,282 @@
+"""The wire layer's serialization contract (repro/snp/wire.py).
+
+Three families of guarantees:
+
+* the validating codec round-trips every supported value shape and
+  rejects everything else (hypothesis-driven);
+* value objects pickle *through their constructors*, so process-local
+  memoized hashes can never leak across a process boundary;
+* the composite forms — sanitized responses, replay envelopes, build
+  contexts, factory specs — survive a pickle round trip with identical
+  observable behavior (hashes re-verify, replays extend identically).
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.mincost import best_cost, build_paper_network, link, \
+    mincost_factory
+from repro.model import Ack, Msg, Tup
+from repro.apps import AppFactory, factory_from_spec
+from repro.metrics import QueryStats
+from repro.snp import Deployment, QueryProcessor
+from repro.snp.replay import extend_replay, verify_segment_hashes
+from repro.snp.wire import (
+    BuildContext, BuildWork, WireError, replay_from_wire, replay_to_wire,
+    sanitize_response, stats_from_wire, stats_to_wire, value_from_wire,
+    value_to_wire,
+)
+
+# ------------------------------------------------------------- strategies
+
+atoms = st.one_of(
+    st.none(), st.booleans(), st.integers(-2**40, 2**40),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=8), st.binary(max_size=8),
+)
+
+tups = st.builds(
+    lambda rel, loc, args: Tup(rel, loc, *args),
+    st.text(min_size=1, max_size=6), st.text(min_size=1, max_size=4),
+    st.lists(st.one_of(st.integers(), st.text(max_size=4)), max_size=3),
+)
+
+msgs = st.builds(
+    lambda pol, tup, src, dst, seq, t: Msg(pol, tup, src, dst, seq, t),
+    st.sampled_from("+-"), tups, st.text(min_size=1, max_size=3),
+    st.text(min_size=1, max_size=3), st.integers(0, 99),
+    st.floats(0, 100, allow_nan=False),
+)
+
+acks = st.builds(
+    lambda src, dst, ms, t: Ack(src, dst, ms, t),
+    st.text(min_size=1, max_size=3), st.text(min_size=1, max_size=3),
+    st.lists(msgs, max_size=2), st.floats(0, 100, allow_nan=False),
+)
+
+values = st.recursive(
+    st.one_of(atoms, tups, msgs, acks),
+    lambda children: st.one_of(
+        st.lists(children, max_size=3),
+        st.lists(children, max_size=3).map(tuple),
+        st.dictionaries(st.one_of(atoms.filter(lambda a: a is not None
+                                               or True), tups),
+                        children, max_size=3),
+        st.sets(st.one_of(st.integers(), st.text(max_size=4)), max_size=3),
+        st.frozensets(st.integers(), max_size=3),
+    ),
+    max_leaves=12,
+)
+
+
+def _only_builtins(wire):
+    if wire is None or isinstance(wire, (bool, int, float, str, bytes)):
+        return True
+    if isinstance(wire, tuple):
+        return all(_only_builtins(v) for v in wire)
+    return False
+
+
+class TestValueCodec:
+    @settings(max_examples=120, deadline=None)
+    @given(values)
+    def test_round_trip_is_identity_on_the_wire(self, value):
+        wire = value_to_wire(value)
+        assert _only_builtins(wire)
+        assert pickle.loads(pickle.dumps(wire)) == wire
+        decoded = value_from_wire(wire)
+        assert value_to_wire(decoded) == wire
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.one_of(tups, msgs))
+    def test_decoded_value_objects_compare_equal(self, value):
+        decoded = value_from_wire(value_to_wire(value))
+        assert decoded == value
+        assert hash(decoded) == hash(value)
+
+    def test_rejects_unencodable_values(self):
+        for bad in (lambda: None, object(), type("X", (), {})()):
+            with pytest.raises(WireError):
+                value_to_wire(bad)
+
+    def test_rejects_unknown_wire_forms(self):
+        with pytest.raises(WireError):
+            value_from_wire(("W.nonsense", 1))
+        with pytest.raises(WireError):
+            value_from_wire(object())
+
+    def test_encoding_snapshots_mutable_containers(self):
+        store = {"h": "text"}
+        wire = value_to_wire(store)
+        store["h2"] = "later"
+        assert value_from_wire(wire) == {"h": "text"}
+
+
+class TestConstructorPickling:
+    """Tup/Msg memoize their hash; pickling must rebuild via __init__ so
+    the hash is recomputed in the unpickling process."""
+
+    def test_tup_reduce_goes_through_init(self):
+        tup = Tup("link", "a", "b", 3)
+        fn, args = tup.__reduce__()
+        assert fn is Tup and args == ("link", "a", "b", 3)
+        clone = pickle.loads(pickle.dumps(tup))
+        assert clone == tup and hash(clone) == hash(tup)
+        assert {tup: 1}[clone] == 1
+
+    def test_msg_reduce_goes_through_init(self):
+        msg = Msg("+", Tup("r", "a"), "a", "b", 7, 1.25)
+        fn, _args = msg.__reduce__()
+        assert fn is Msg
+        clone = pickle.loads(pickle.dumps(msg))
+        assert clone == msg and hash(clone) == hash(msg)
+
+    def test_tup_canonical_key_survives(self):
+        tup = Tup("r", "a", 1)
+        clone = pickle.loads(pickle.dumps(tup))
+        assert clone.canonical_key() == tup.canonical_key()
+
+
+# --------------------------------------------------- composite wire forms
+
+
+def _network(seed=7):
+    dep = Deployment(seed=seed, key_bits=256)
+    nodes = build_paper_network(dep)
+    dep.run()
+    return dep, nodes
+
+
+def _graph_print(graph):
+    return sorted((str(v.key()), v.color, v.t_end) for v in graph.vertices())
+
+
+class TestResponseWire:
+    def test_sanitized_response_round_trips_and_reverifies(self):
+        dep, _nodes = _network()
+        response = dep.node("a").retrieve()
+        original_hashes = verify_segment_hashes(response)
+        clone = pickle.loads(pickle.dumps(sanitize_response(response)))
+        assert clone.node == response.node
+        assert clone.start_index == response.start_index
+        assert clone.start_hash == response.start_hash
+        assert len(clone.entries) == len(response.entries)
+        assert verify_segment_hashes(clone) == original_hashes
+        assert clone.head_auth.signature == response.head_auth.signature
+
+    def test_sanitize_strips_only_non_wire_aux(self):
+        dep, _nodes = _network()
+        response = dep.node("a").retrieve()
+        sanitized = sanitize_response(response)
+        for old, new in zip(response.entries, sanitized.entries):
+            assert set(new.aux) <= set(old.aux)
+            assert "batch" not in new.aux
+            for key in ("tup", "msg", "batch_auth", "wire_ack"):
+                assert (key in new.aux) == (key in old.aux)
+
+    def test_checkpointed_response_round_trips(self):
+        dep, nodes = _network()
+        dep.checkpoint_all()
+        nodes["a"].insert(link("a", "q", 3))
+        dep.run()
+        response = dep.node("a").retrieve(from_checkpoint=True)
+        assert response.checkpoint is not None
+        clone = pickle.loads(pickle.dumps(sanitize_response(response)))
+        assert clone.checkpoint.aux["snapshot"].keys() \
+            == response.checkpoint.aux["snapshot"].keys()
+        assert verify_segment_hashes(clone) \
+            == verify_segment_hashes(response)
+
+
+class TestReplayWire:
+    def test_replay_round_trip_preserves_graph_and_extends_identically(
+            self):
+        dep, nodes = _network()
+        qp = QueryProcessor(dep)
+        qp.why(best_cost("c", "d", 5))
+        view = qp.mq.view_of("a")
+        factory = dep.app_factories["a"]
+
+        wire = pickle.loads(pickle.dumps(replay_to_wire(view.replay)))
+        clone = replay_from_wire(wire, factory)
+        assert _graph_print(clone.graph) == _graph_print(view.replay.graph)
+        assert clone.events_replayed == view.replay.events_replayed
+
+        # Run the system further and extend both replays by the same
+        # verified suffix: the reconstructed one (with its lazily restored
+        # machine) must land on the same graph.
+        nodes["a"].insert(link("a", "z", 2))
+        dep.run()
+        suffix = dep.node("a").retrieve(since_index=view.head_index)
+        suffix2 = dep.node("a").retrieve(since_index=view.head_index)
+        p1, _s1, f1 = extend_replay("a", view.replay, suffix)
+        p2, _s2, f2 = extend_replay("a", clone, suffix2)
+        assert (p1, f1) == (p2, f2)
+        assert _graph_print(clone.graph) == _graph_print(view.replay.graph)
+
+    def test_unretained_gca_is_rejected(self):
+        dep, _nodes = _network()
+        qp = QueryProcessor(dep)
+        qp.why(best_cost("c", "d", 5))
+        replay = qp.mq.view_of("a").replay
+        replay.gca = None
+        with pytest.raises(WireError):
+            replay_to_wire(replay)
+
+
+class TestStatsWire:
+    def test_round_trip_is_field_generic(self):
+        stats = QueryStats()
+        stats.log_bytes = 123
+        stats.auth_checks_recovered = 4
+        stats.replay_seconds = 1.5
+        clone = stats_from_wire(stats_to_wire(stats))
+        assert clone.as_dict() == stats.as_dict()
+
+    def test_wire_form_is_plain_and_sorted(self):
+        wire = stats_to_wire(QueryStats())
+        assert list(wire) == sorted(wire)
+        assert _only_builtins(wire)
+
+
+class TestContextAndSpecs:
+    def test_context_round_trip_verifies_signatures(self):
+        dep, _nodes = _network()
+        context = BuildContext(
+            {n: dep.public_key_of(n) for n in dep.nodes},
+            verify_embedded_signatures=True,
+            t_prop=dep.effective_t_prop(),
+        )
+        clone = BuildContext.from_wire(
+            pickle.loads(pickle.dumps(context.to_wire()))
+        )
+        assert clone.t_prop == context.t_prop
+        identity = dep.identity_of("a")
+        signature = identity.sign(("probe", 1))
+        from repro.util.serialization import canonical_bytes
+        assert clone.public_keys["a"].verify(
+            canonical_bytes(("probe", 1)), signature
+        )
+
+    def test_app_factory_spec_resolves_through_registry(self):
+        factory = mincost_factory()
+        assert isinstance(factory, AppFactory)
+        spec = factory.wire_spec()
+        assert _only_builtins(value_to_wire(spec))
+        rebuilt = factory_from_spec(spec)
+        machine = rebuilt("n1")
+        assert machine.handle_insert(link("n1", "n2", 1), 0.0) is not None
+
+    def test_unregistered_factory_is_rejected_at_the_boundary(self):
+        dep, _nodes = _network()
+        response = dep.node("a").retrieve()
+        work = BuildWork("a", "built", response,
+                         factory=lambda node_id: None)
+        with pytest.raises(WireError, match="registry-backed"):
+            work.to_wire()
+
+    def test_unknown_spec_name_is_rejected(self):
+        with pytest.raises(KeyError, match="no application builder"):
+            factory_from_spec(("no-such-app", value_to_wire({})))
