@@ -5,13 +5,31 @@ grows fastest because its baseline generates the largest number of
 messages; Hadoop's incremental cost is tiny because input files are logged
 by reference (hash). The breakdown is messages / signatures /
 authenticators / index.
+
+Run as a script, this module also measures the **checkpoint GC arm**:
+the same phased chord workload with and without the retention handshake
+(``Deployment.run_gc``), emitting steady-state per-node log bytes into
+``BENCH_storage.json``. A standing auditor refreshes each phase, so GC
+floors track its verified heads; the run enforces that GC'd logs stay
+bounded (chord@50: ≥5× smaller than no-GC) while the post-run audit
+stays clean. ``--smoke`` uses a tiny ring for CI, which then gates the
+output against ``baselines/`` via check_regression.py.
 """
 
+import argparse
+import json
 import statistics
+import sys
+from pathlib import Path
 
-from scenarios import print_table, run_hadoop
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-from repro.metrics import StorageReport
+from scenarios import print_table, run_chord, run_hadoop  # noqa: E402
+
+from repro.metrics import StorageReport  # noqa: E402
+
+OUT_PATH = Path(__file__).parent / "BENCH_storage.json"
 
 
 def _reports(scenario):
@@ -104,3 +122,146 @@ class TestFigure6Benchmarks:
             lambda: run_hadoop(n_words=600, seed=1),
             rounds=1, iterations=1,
         )
+
+
+# --------------------------------------------------------- checkpoint GC arm
+
+
+def _run_gc_arm(n_nodes, phases, gc, seed=7):
+    """One phased chord run; returns (deployment, per-node log bytes,
+    final-query result or None).
+
+    Each phase is one stabilization round plus a lookup; a standing
+    auditor refreshes after every phase. With *gc*, the auditor is
+    registered for the retention handshake and ``run_gc`` runs per phase
+    (checkpoint first, truncate to the floors the previous pass
+    anchored), so steady-state log size is bounded by roughly one
+    phase of entries plus the retained checkpoint — while without GC the
+    logs keep the whole history.
+    """
+    from repro.snp import QueryProcessor
+
+    scen = run_chord(n_nodes=n_nodes, rounds=1, lookups=2, seed=seed)
+    dep = scen.deployment
+    net = scen.extra["net"]
+    qp = QueryProcessor(dep)
+    if gc:
+        dep.register_querier(qp)
+    qp.prefetch()
+    for phase in range(phases):
+        net.stabilize(rounds=1)
+        source = net.members[phase % len(net.members)][0]
+        net.lookup(source, (net.size // 3 + phase) % net.size,
+                   f"gc-arm-{phase}")
+        qp.refresh()
+        if gc:
+            dep.run_gc(checkpoint=True)
+    log_bytes = {str(name): node.log.size_bytes()
+                 for name, node in dep.nodes.items()}
+    # The audit must stay sound at steady state: one more lookup, a
+    # refresh to cover it, and a query; nothing may be red on this
+    # healthy ring.
+    source = net.members[0][0]
+    results = net.lookup(source, net.size // 3, "gc-arm-final")
+    qp.refresh()
+    result = qp.why(results[0], node=source, scope=4)
+    qp.close()
+    return dep, log_bytes, result
+
+
+def _arm_summary(log_bytes):
+    values = list(log_bytes.values())
+    return {
+        "mean_log_bytes": int(statistics.mean(values)),
+        "max_log_bytes": max(values),
+        "total_log_bytes": sum(values),
+    }
+
+
+def run_gc_scenario(n_nodes, phases, seed=7):
+    dep_plain, plain_bytes, plain_result = _run_gc_arm(
+        n_nodes, phases, gc=False, seed=seed
+    )
+    dep_gc, gc_bytes, gc_result = _run_gc_arm(
+        n_nodes, phases, gc=True, seed=seed
+    )
+    meter = dep_gc.gc_meter
+    entry = {
+        "phases": phases,
+        "no_gc": _arm_summary(plain_bytes),
+        "gc": _arm_summary(gc_bytes),
+        "gc_passes": meter.gc_passes,
+        "log_bytes_reclaimed": meter.log_bytes_reclaimed,
+        "entries_discarded": meter.entries_discarded,
+        "retention_faults": len(dep_gc.maintainer.retention_faults),
+        "query_clean_no_gc": not plain_result.red_vertices(),
+        "query_clean_gc": not gc_result.red_vertices(),
+    }
+    entry["reduction_factor"] = round(
+        entry["no_gc"]["mean_log_bytes"]
+        / max(1, entry["gc"]["mean_log_bytes"]), 3
+    )
+    return entry
+
+
+def check_gc(name, entry, min_reduction):
+    # Explicit raises, not asserts: this is CI's acceptance gate and must
+    # survive `python -O`.
+    if not entry["query_clean_no_gc"]:
+        raise SystemExit(
+            f"{name}: the no-GC baseline audit is not clean — the ring "
+            "itself is unhealthy, so the GC comparison is meaningless"
+        )
+    if not entry["query_clean_gc"]:
+        raise SystemExit(
+            f"{name}: the post-GC audit found red vertices on a healthy "
+            "ring — truncation corrupted a verdict"
+        )
+    if entry["retention_faults"]:
+        raise SystemExit(
+            f"{name}: honest nodes were convicted of retention faults"
+        )
+    if entry["reduction_factor"] < min_reduction:
+        raise SystemExit(
+            f"{name}: GC'd logs are only {entry['reduction_factor']}x "
+            f"smaller than no-GC, below the {min_reduction}x target"
+        )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny ring + fewer phases for CI; still "
+                             "enforces boundedness and a clean audit")
+    parser.add_argument("--out", type=Path, default=OUT_PATH)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        configs = [("chord@10", 10, 6, 2.0)]
+    else:
+        configs = [("chord@50", 50, 10, 5.0)]
+
+    scenarios = {}
+    for name, n_nodes, phases, min_reduction in configs:
+        entry = run_gc_scenario(n_nodes, phases)
+        check_gc(name, entry, min_reduction)
+        scenarios[name] = entry
+        print(f"{name:>10}  no-gc {entry['no_gc']['mean_log_bytes']:>10,} B"
+              f"/node → gc {entry['gc']['mean_log_bytes']:>9,} B/node "
+              f"({entry['reduction_factor']}x smaller, "
+              f"{entry['gc_passes']} passes, "
+              f"{entry['log_bytes_reclaimed']:,} B reclaimed, "
+              f"clean={entry['query_clean_gc']})")
+
+    payload = {
+        "benchmark": "storage-gc",
+        "smoke": args.smoke,
+        "scenarios": scenarios,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -124,10 +124,46 @@ def parallel_hard_checks(payload):
     return failures
 
 
+def storage_metrics(payload):
+    """Checkpoint-GC boundedness: the no-GC/GC size ratio and the GC'd
+    steady-state bytes themselves (both deterministic counters)."""
+    out = {}
+    for name, entry in payload.get("scenarios", {}).items():
+        out[f"{name}.gc_reduction"] = (entry["reduction_factor"],
+                                       HIGHER_IS_BETTER)
+        out[f"{name}.gc.mean_log_bytes"] = (
+            entry["gc"]["mean_log_bytes"], LOWER_IS_BETTER)
+        out[f"{name}.gc.max_log_bytes"] = (
+            entry["gc"]["max_log_bytes"], LOWER_IS_BETTER)
+    return out
+
+
+def storage_hard_checks(payload):
+    """Zero-tolerance: truncation must never dirty a healthy audit, and
+    honest nodes must never be convicted of retention faults."""
+    failures = []
+    for name, entry in payload.get("scenarios", {}).items():
+        if not entry.get("query_clean_no_gc", False):
+            failures.append(
+                f"{name}: the no-GC baseline audit is not clean (the "
+                "ring itself is unhealthy; the GC comparison is void)"
+            )
+        if not entry.get("query_clean_gc", False):
+            failures.append(
+                f"{name}: post-GC audit of a healthy ring is not clean"
+            )
+        if entry.get("retention_faults", 0):
+            failures.append(
+                f"{name}: honest nodes convicted of retention faults"
+            )
+    return failures
+
+
 BENCHMARKS = {
     "BENCH_engine.json": (engine_metrics, None),
     "BENCH_audit.json": (audit_metrics, None),
     "BENCH_parallel.json": (parallel_metrics, parallel_hard_checks),
+    "BENCH_storage.json": (storage_metrics, storage_hard_checks),
 }
 
 

@@ -25,6 +25,7 @@ from repro.snp.evidence import (
 
 TRAFFIC_CATEGORIES = (
     "baseline", "proxy", "provenance", "authenticators", "acknowledgments",
+    "replication",
 )
 
 
@@ -36,6 +37,7 @@ class TrafficMeter:
         self.messages_sent = 0
         self.batches_sent = 0
         self.acks_sent = 0
+        self.replication_pushes = 0
 
     def _bucket(self, node):
         return self._bytes.setdefault(
@@ -50,6 +52,7 @@ class TrafficMeter:
         self.messages_sent = 0
         self.batches_sent = 0
         self.acks_sent = 0
+        self.replication_pushes = 0
 
     def record_batch(self, node, msgs, native_sizer=None):
         """Account one WireBatch worth of traffic sent by *node*.
@@ -78,6 +81,12 @@ class TrafficMeter:
         self._bucket(node)["acknowledgments"] += ACK_BYTES
         self.acks_sent += 1
 
+    def record_replication(self, node, nbytes):
+        """Account one log-replication push originated by *node*: the
+        shipped segment's committed bytes plus the head authenticator."""
+        self._bucket(node)["replication"] += nbytes + AUTHENTICATOR_BYTES
+        self.replication_pushes += 1
+
     def totals(self):
         """Aggregate byte counts across all nodes, per category."""
         out = {category: 0 for category in TRAFFIC_CATEGORIES}
@@ -101,6 +110,30 @@ class TrafficMeter:
         if baseline == 0:
             return 0.0
         return self.total_bytes() / baseline
+
+
+class RetentionMeter:
+    """Checkpoint-GC accounting: what the retention handshake reclaims.
+
+    ``log_bytes_reclaimed`` counts committed entry bytes truncated from
+    node logs, ``mirror_bytes_reclaimed`` the same for replica-held
+    mirror copies; ``gc_passes`` counts handshake passes and
+    ``entries_discarded`` the log entries dropped — together they bound
+    the steady-state storage story the GC arm of
+    ``benchmarks/bench_storage.py`` measures.
+    """
+
+    def __init__(self):
+        self.gc_passes = 0
+        self.log_bytes_reclaimed = 0
+        self.mirror_bytes_reclaimed = 0
+        self.entries_discarded = 0
+
+    def total_bytes_reclaimed(self):
+        return self.log_bytes_reclaimed + self.mirror_bytes_reclaimed
+
+    def as_dict(self):
+        return dict(vars(self))
 
 
 class StorageReport:
@@ -244,6 +277,11 @@ class QueryStats:
         # Skipped authenticators retroactively checked by a later, wider
         # build (the pending-skip registry; see microquery.py).
         self.auth_checks_recovered = 0
+        # Skipped authenticators that can never be checked: they fall
+        # below a node's advertised retention floor, whose prefix
+        # checkpoint GC has permanently discarded (the pending-skip
+        # registry drains them instead of waiting forever).
+        self.auth_checks_tombstoned = 0
         self.microqueries = 0
 
     def downloaded_bytes(self):

@@ -162,6 +162,46 @@ class SilentNode(SNooPyNode):
         return super().authenticators_about(peer, since=since)
 
 
+class OverTruncatingNode(SNooPyNode):
+    """Advertises an honest retention floor, then truncates *below* it —
+    discarding entries the handshake promised to retain (typically the
+    region holding incriminating evidence, hoping red fades to yellow).
+
+    Detection: the signed advertisement commits the node to serving
+    segments anchored at or below the floor. Any full build that gets a
+    direct response whose anchor sits above the advertised floor is
+    proof of the violation — the querier marks the node proven faulty
+    (``compute_build``'s retention-coverage check).
+    """
+
+    def gc_truncate(self):
+        chk = self.log.last_checkpoint_before(len(self.log))
+        if chk is None or chk.index <= self.log.first_index:
+            return super().gc_truncate()
+        return self.log.truncate_below(chk.index)
+
+
+class FloorLiarNode(SNooPyNode):
+    """Advertises a retention floor *above* live auditors' verified heads
+    — claiming the right to discard entries still anchored on — and
+    truncates to it unilaterally.
+
+    Detection: the advertisement is signed, and the auditors' heads are
+    signed; floor > head is a contradiction between two commitments the
+    maintainer can exhibit (``Maintainer.retention_faults``), so the
+    node is convicted at handshake time and queriers treat it as proven
+    faulty without ever trusting its log again.
+    """
+
+    def advertise_retention_floor(self, mark=None):
+        # Ignore the auditors' marks: advertise (and immediately truncate
+        # to) the newest checkpoint, whatever anyone still anchors on.
+        advert = super().advertise_retention_floor(mark=None)
+        if advert is not None:
+            self.log.truncate_below(advert.floor_index)
+        return advert
+
+
 class InputLiarNode(SNooPyNode):
     """Inserts base tuples that do not reflect reality.
 

@@ -9,9 +9,11 @@ hidden state.
 """
 
 from repro.crypto.keys import CertificateAuthority, NodeIdentity
-from repro.metrics import TrafficMeter
+from repro.metrics import RetentionMeter, TrafficMeter
 from repro.net.simulator import Simulator
-from repro.snp.snoopy import SNooPyNode
+from repro.snp.snoopy import (
+    SNooPyNode, merge_mirror_responses, truncate_response_below,
+)
 from repro.util.errors import ConfigurationError
 
 
@@ -21,6 +23,10 @@ class Maintainer:
     def __init__(self):
         self.missing_ack_alarms = []
         self.rejected_wires = []
+        # Retention-handshake convictions: a node whose signed floor
+        # advertisement contradicts a live auditor's verified head (or
+        # fails to verify at all). Each record carries the evidence.
+        self.retention_faults = []
 
     def notify_missing_ack(self, alarm):
         self.missing_ack_alarms.append(alarm)
@@ -29,6 +35,18 @@ class Maintainer:
         self.rejected_wires.append(
             {"receiver": receiver, "sender": sender, "reason": reason}
         )
+
+    def record_retention_fault(self, node, reason, advert=None, mark=None):
+        self.retention_faults.append(
+            {"node": node, "reason": reason, "advert": advert, "mark": mark}
+        )
+
+    def retention_fault_of(self, node):
+        """The first recorded retention conviction for *node*, or None."""
+        for fault in self.retention_faults:
+            if fault["node"] == node:
+                return fault["reason"]
+        return None
 
     def alarmed_msg_ids(self):
         out = set()
@@ -90,6 +108,15 @@ class Deployment:
         # simulated instant a replication pass is due.
         self._replication = None
         self._next_replication_t = 0.0
+        # Checkpoint-GC state (see run_gc / enable_gc): registered
+        # standing queriers whose verified heads are the low-water marks,
+        # each node's latest signed floor advertisement, the GC meter,
+        # and the standing cadence.
+        self._queriers = []
+        self.retention_floors = {}   # node -> RetentionFloor
+        self.gc_meter = RetentionMeter()
+        self._gc_policy = None       # (interval_seconds, checkpoint_first)
+        self._next_gc_t = 0.0
 
     # ------------------------------------------------------------- set-up
 
@@ -182,15 +209,33 @@ class Deployment:
             # as fresh as ticking through them all would have.
             self.replicate_deltas(self._replication[1])
             self._next_replication_t = self.sim.now + self._replication[0]
+        if self._gc_policy is not None and self.sim.now >= self._next_gc_t:
+            # Unlike replication (a no-op at quiescence), a GC pass
+            # checkpoints every node — so it only fires when its cadence
+            # instant has actually been crossed, or frequent run() calls
+            # would grow each log by one CHK entry per call.
+            self.run_gc(checkpoint=self._gc_policy[1])
+            self._next_gc_t = self.sim.now + self._gc_policy[0]
         return steps
 
     def run_until(self, t):
-        if self._replication is not None:
-            interval, factor = self._replication
-            while self._next_replication_t <= t:
-                self.sim.run_until(self._next_replication_t)
-                self.replicate_deltas(factor)
-                self._next_replication_t += interval
+        while True:
+            due = []
+            if self._replication is not None \
+                    and self._next_replication_t <= t:
+                due.append((self._next_replication_t, "replication"))
+            if self._gc_policy is not None and self._next_gc_t <= t:
+                due.append((self._next_gc_t, "gc"))
+            if not due:
+                break
+            at, kind = min(due)
+            self.sim.run_until(at)
+            if kind == "replication":
+                self.replicate_deltas(self._replication[1])
+                self._next_replication_t += self._replication[0]
+            else:
+                self.run_gc(checkpoint=self._gc_policy[1])
+                self._next_gc_t += self._gc_policy[0]
         self.sim.run_until(t)
 
     def checkpoint_all(self):
@@ -206,6 +251,15 @@ class Deployment:
             total = total.merged_with(identity.counter)
         return total
 
+    def _charge_replication(self, origin, response):
+        """Meter one replication push: the shipped segment's committed
+        bytes (plus head authenticator, added by the meter) charged to
+        the origin — replicated log suffixes are real wire traffic, not
+        free (the Figure-5-style replication overhead story)."""
+        self.traffic.record_replication(
+            origin, sum(e.size_bytes() for e in response.entries)
+        )
+
     def replicate_logs(self, replication_factor=2):
         """Push each node's current log to its replica set (Section 5.8's
         suggested mitigation for destroyed provenance state). Replicas are
@@ -220,6 +274,7 @@ class Deployment:
             for step in range(1, replication_factor + 1):
                 replica = self.nodes[names[(index + step) % len(names)]]
                 if replica.node_id != name:
+                    self._charge_replication(name, response)
                     replica.accept_mirror(response)
 
     def replicate_deltas(self, replication_factor=2):
@@ -227,15 +282,25 @@ class Deployment:
 
         The incremental counterpart of :meth:`replicate_logs`: a replica
         that already mirrors a prefix is asked only for the entries past
-        its stored head (``retrieve(since_index=)``), which
-        ``SNooPyNode.accept_mirror`` splices onto the stored copy; a
-        replica with no copy yet gets the full log. Run on a cadence (see
-        :meth:`enable_replication`) this keeps every replica set fresh, so
-        ``find_mirror(since_index=)`` can serve view *refreshes* for an
-        origin that has since crashed — not just cold builds of whatever
-        stale copy an old full push left behind. Byzantine nodes may
-        refuse to serve or store; replication stays best-effort. Returns
-        the number of pushes that stored something.
+        its stored head (``retrieve(since_index=)``), spliced onto the
+        stored copy; a replica with no copy yet gets the full log. Run on
+        a cadence (see :meth:`enable_replication`) this keeps every
+        replica set fresh, so ``find_mirror(since_index=)`` can serve
+        view *refreshes* for an origin that has since crashed — not just
+        cold builds of whatever stale copy an old full push left behind.
+
+        When the origin's log was GC'd past the stored copy (it answers
+        the delta request with a checkpoint-anchored fallback), the
+        replica follows only *sanctioned* floors: if the fallback anchors
+        exactly at the origin's unconvicted advertised floor, the stale
+        copy is re-seeded from it; anything else (an unsanctioned or
+        convicted truncation) leaves the stored — possibly fuller — copy
+        in place, so a self-truncated origin cannot launder evidence out
+        of its replicas by re-pushing.
+
+        Byzantine nodes may refuse to serve or store; replication stays
+        best-effort. Only pushes that actually store something are
+        charged to the traffic meter and counted in the return value.
         """
         names = sorted(self.nodes, key=str)
         pushes = 0
@@ -254,11 +319,31 @@ class Deployment:
                     response = node.retrieve(since_index=stored_head)
                     if response is not None and not response.entries:
                         continue  # nothing appended since the last push
+                    if response is not None \
+                            and response.start_index != stored_head + 1 \
+                            and self._floor_sanctioned_at(
+                                name, response.start_index - 1):
+                        # GC'd past the stored copy, at a sanctioned
+                        # floor: re-seed rather than freeze forever.
+                        current = None
                 if response is None:
                     continue
-                replica.accept_mirror(response)
+                merged = merge_mirror_responses(current, response)
+                if merged is None:
+                    continue  # nothing stored: no bytes moved
+                self._charge_replication(name, response)
+                replica.mirror_store[name] = merged
                 pushes += 1
         return pushes
+
+    def _floor_sanctioned_at(self, origin, anchor):
+        """Whether *anchor* is exactly the unconvicted retention floor
+        *origin* advertised — the only truncation depth honest replicas
+        follow."""
+        advert = self.retention_floors.get(origin)
+        return (advert is not None
+                and advert.floor_index == anchor
+                and self.maintainer.retention_fault_of(origin) is None)
 
     def enable_replication(self, interval_seconds, replication_factor=2):
         """Install a standing delta-replication cadence.
@@ -280,6 +365,142 @@ class Deployment:
 
     def disable_replication(self):
         self._replication = None
+
+    # ------------------------------------------------------ checkpoint GC
+
+    def register_querier(self, querier):
+        """Register a standing auditor for the retention handshake: its
+        per-node verified heads (``low_water_marks``) become low-water
+        marks no GC pass may truncate above. Accepts a
+        :class:`~repro.snp.query.QueryProcessor` or a
+        :class:`~repro.snp.microquery.MicroQuerier`."""
+        if not hasattr(querier, "low_water_marks"):
+            raise ConfigurationError(
+                "a standing querier must expose low_water_marks()"
+            )
+        if querier not in self._queriers:
+            self._queriers.append(querier)
+        return querier
+
+    def unregister_querier(self, querier):
+        """Remove a standing auditor (it no longer constrains retention)."""
+        if querier in self._queriers:
+            self._queriers.remove(querier)
+
+    def collect_low_water_marks(self):
+        """The querier half of the retention handshake: per node, the
+        minimum verified head any live (registered) standing auditor
+        holds. Nodes no auditor tracks are absent — they are
+        unconstrained, free to truncate below their newest checkpoint."""
+        marks = {}
+        for querier in self._queriers:
+            for node, head in querier.low_water_marks().items():
+                current = marks.get(node)
+                marks[node] = head if current is None else min(current, head)
+        return marks
+
+    def run_gc(self, checkpoint=True):
+        """One retention-handshake pass: collect low-water marks, have
+        each node advertise (and sign) its retention floor, convict
+        floor-liars, truncate logs, and truncate mirror copies to the
+        same sanctioned floors.
+
+        With *checkpoint* (the default) every node records a fresh
+        checkpoint first, so the *next* pass — once auditors have
+        refreshed past it — always finds an eligible anchor; truncation
+        itself only ever uses checkpoints at or below the current marks.
+
+        A node whose signed advertisement exceeds a live auditor's head
+        is recorded as a retention fault (the advertisement plus the
+        auditor's signed head are the evidence) and its floor is not
+        sanctioned: honest replicas keep their fuller mirror copies, and
+        queriers treat the node as proven faulty. Returns the bytes
+        reclaimed this pass.
+        """
+        from repro.snp.evidence import verify_retention_floor
+        from repro.util.errors import AuthenticationError
+        if checkpoint:
+            self.checkpoint_all()
+        marks = self.collect_low_water_marks()
+        meter = self.gc_meter
+        meter.gc_passes += 1
+        reclaimed_before = meter.total_bytes_reclaimed()
+        sanctioned = {}
+        for name in sorted(self.nodes, key=str):
+            node = self.nodes[name]
+            mark = marks.get(name)
+            advert = node.advertise_retention_floor(mark)
+            if advert is None:
+                continue
+            try:
+                verify_retention_floor(self.public_key_of(name), advert)
+            except AuthenticationError:
+                self.maintainer.record_retention_fault(
+                    name, "retention-floor advertisement fails signature "
+                    "verification", advert=advert, mark=mark,
+                )
+                continue
+            self.retention_floors[name] = advert
+            if mark is not None and advert.floor_index > mark:
+                self.maintainer.record_retention_fault(
+                    name,
+                    f"advertised retention floor {advert.floor_index} is "
+                    f"above a live auditor's verified head {mark}",
+                    advert=advert, mark=mark,
+                )
+                # Unsanctioned: the Byzantine node may still truncate
+                # itself below, but honest replicas keep their copies.
+                continue
+            sanctioned[name] = advert.floor_index
+            discarded_before = node.log.discarded_entries
+            meter.log_bytes_reclaimed += node.gc_truncate()
+            meter.entries_discarded += \
+                node.log.discarded_entries - discarded_before
+        # Mirror copies participate in the same sanctioned floors.
+        for holder in self.nodes.values():
+            for origin, stored in list(holder.mirror_store.items()):
+                floor = sanctioned.get(origin)
+                if floor is None:
+                    continue
+                trimmed = truncate_response_below(stored, floor)
+                if trimmed is not stored:
+                    # Entries strictly below the pivot checkpoint; the
+                    # pivot itself stays stored (as trimmed.checkpoint),
+                    # so it is not reclaimed — mirroring what
+                    # NodeLog.truncate_below counts.
+                    dropped = stored.entries[:floor - stored.start_index]
+                    meter.mirror_bytes_reclaimed += sum(
+                        e.size_bytes() for e in dropped
+                    )
+                    holder.mirror_store[origin] = trimmed
+        return meter.total_bytes_reclaimed() - reclaimed_before
+
+    def enable_gc(self, interval_seconds, checkpoint=True):
+        """Install a standing checkpoint-GC cadence, the retention
+        counterpart of :meth:`enable_replication`: :meth:`run_until`
+        interleaves a :meth:`run_gc` pass every *interval_seconds* of
+        simulated time, and :meth:`run` performs one pass at quiescence —
+        so a deployment that keeps running keeps its logs bounded by what
+        live auditors still anchor on."""
+        if interval_seconds <= 0:
+            raise ConfigurationError(
+                f"GC interval must be positive, got {interval_seconds!r}"
+            )
+        self._gc_policy = (float(interval_seconds), bool(checkpoint))
+        self._next_gc_t = self.sim.now + interval_seconds
+        return self._gc_policy
+
+    def disable_gc(self):
+        self._gc_policy = None
+
+    def advertised_floor_of(self, node):
+        """The node's sanctioned-or-not advertised floor index (0 when it
+        never advertised) — what queriers hold truncation against."""
+        advert = self.retention_floors.get(node)
+        return advert.floor_index if advert is not None else 0
+
+    def retention_fault_of(self, node):
+        return self.maintainer.retention_fault_of(node)
 
     def find_mirror(self, origin, since_index=None):
         """Best (longest) mirror of *origin*'s log held by any node.

@@ -63,6 +63,55 @@ def verify_authenticator(verifier_identity, public_key, auth):
     return True
 
 
+class RetentionFloor:
+    """A node's signed retention-floor advertisement (checkpoint GC).
+
+    By signing ``(node, floor_index, floor_time)`` the node commits to
+    retaining entry ``floor_index`` (a checkpoint) and everything after
+    it. The advertisement is evidence in the PeerReview sense: paired
+    with a live auditor's signed head below the floor it convicts a
+    floor-liar, and paired with a retrieve response that cannot anchor at
+    the floor it convicts an over-eager truncator.
+    """
+
+    __slots__ = ("node", "floor_index", "floor_time", "signature")
+
+    def __init__(self, node, floor_index, floor_time, signature):
+        self.node = node
+        self.floor_index = floor_index
+        self.floor_time = floor_time
+        self.signature = signature
+
+    def payload(self):
+        return ("retention-floor", self.node, self.floor_index,
+                self.floor_time)
+
+    def __repr__(self):
+        return (
+            f"RetentionFloor({self.node}, floor={self.floor_index}, "
+            f"t={self.floor_time:g})"
+        )
+
+
+def sign_retention_floor(identity, floor_index, floor_time):
+    advert = RetentionFloor(identity.node_id, floor_index, floor_time, None)
+    advert.signature = identity.sign(advert.payload())
+    return advert
+
+
+def verify_retention_floor(public_key, advert):
+    """Check the advertisement's signature directly against the node's
+    public key; raises AuthenticationError on failure."""
+    from repro.util.serialization import canonical_bytes
+    if not public_key.verify(canonical_bytes(advert.payload()),
+                             advert.signature):
+        raise AuthenticationError(
+            f"retention-floor advertisement from {advert.node!r} has an "
+            "invalid signature"
+        )
+    return True
+
+
 class EvidenceStore:
     """The querier's evidence set ε: authenticators indexed by node.
 

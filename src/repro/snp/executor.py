@@ -30,9 +30,21 @@ executor instance) into an executor object.
 """
 
 import multiprocessing
+import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
 from repro.snp.wire import init_worker_process, warm_worker
+
+#: Ceiling for auto-sized pools ("process"/"thread" specs with no
+#: explicit N): view builds stop scaling well past this on one querier,
+#: and unbounded spawn on a many-core box wastes start-up time.
+MAX_DEFAULT_WORKERS = 8
+
+
+def default_worker_count():
+    """``os.cpu_count()`` clamped to ``[1, MAX_DEFAULT_WORKERS]`` — the
+    worker count a bare ``"process"``/``"thread"`` spec resolves to."""
+    return max(1, min(MAX_DEFAULT_WORKERS, os.cpu_count() or 1))
 
 
 class SerialExecutor:
@@ -199,7 +211,9 @@ def make_executor(spec=None):
     ``None`` or ``"serial"`` → :class:`SerialExecutor`; an int ``n`` →
     serial for ``n == 1``, ``ThreadedExecutor(n)`` for ``n > 1``
     (``n < 1`` is an error); ``"thread:N"`` → ``ThreadedExecutor(N)``;
-    ``"process:N"`` → ``ProcessExecutor(N)``; ``"wire"`` →
+    ``"process:N"`` → ``ProcessExecutor(N)``; bare ``"thread"`` /
+    ``"process"`` → the same pools sized to ``os.cpu_count()`` clamped
+    to :data:`MAX_DEFAULT_WORKERS`; ``"wire"`` →
     :class:`WireCheckExecutor`; an object with a ``run`` or ``run_jobs``
     method passes through unchanged.
     """
@@ -212,6 +226,10 @@ def make_executor(spec=None):
             raise ValueError(f"worker count must be >= 1, got {spec}")
         return ThreadedExecutor(spec) if spec > 1 else SerialExecutor()
     if isinstance(spec, str):
+        if spec == "thread":
+            return make_executor(default_worker_count())
+        if spec == "process":
+            return ProcessExecutor(default_worker_count())
         if spec.startswith("thread:"):
             return make_executor(int(spec.split(":", 1)[1]))
         if spec.startswith("process:"):

@@ -68,15 +68,32 @@ class LogEntry:
 
 
 class NodeLog:
-    """Append-only tamper-evident log for one node."""
+    """Append-only tamper-evident log for one node.
+
+    Entry indexes are *logical* and stable: ``len(log)`` is the head
+    index, which keeps counting past checkpoint GC. After
+    :meth:`truncate_below`, entries below ``first_index`` are gone but the
+    chain hash preceding the floor survives as the tombstone anchor, so
+    suffix authentication, delta retrieval and checkpoint-seeded replay at
+    or above the floor still verify exactly as before.
+    """
 
     def __init__(self, node_id):
         self.node_id = node_id
         self.entries = []
         self.chain = HashChain()
+        #: Logical index of the oldest retained entry (1 = untruncated).
+        self.first_index = 1
+        #: How many entries checkpoint GC has discarded so far.
+        self.discarded_entries = 0
 
     def __len__(self):
-        return len(self.entries)
+        """The *head index* (logical length, counting truncated entries)."""
+        return self.first_index - 1 + len(self.entries)
+
+    @property
+    def truncated(self):
+        return self.first_index > 1
 
     def append(self, timestamp, entry_type, content, aux=None):
         if entry_type not in ENTRY_TYPES:
@@ -84,7 +101,7 @@ class NodeLog:
         digest = content_digest(content)
         entry_hash = self.chain.append(timestamp, entry_type, digest)
         entry = LogEntry(
-            index=len(self.entries) + 1,
+            index=len(self) + 1,
             timestamp=timestamp,
             entry_type=entry_type,
             content=content,
@@ -96,8 +113,13 @@ class NodeLog:
         return entry
 
     def entry(self, index):
-        """1-based access."""
-        return self.entries[index - 1]
+        """1-based logical access."""
+        if index < self.first_index:
+            raise IndexError(
+                f"entry {index} of {self.node_id!r} was discarded by "
+                f"checkpoint GC (log now starts at {self.first_index})"
+            )
+        return self.entries[index - self.first_index]
 
     def head_hash(self):
         return self.chain.head()
@@ -109,18 +131,56 @@ class NodeLog:
     def segment(self, start=1, end=None):
         """Entries ``start..end`` inclusive (1-based; end=None → head)."""
         if end is None:
-            end = len(self.entries)
-        return self.entries[start - 1:end]
+            end = len(self)
+        if start < self.first_index:
+            raise IndexError(
+                f"segment start {start} predates the retained log of "
+                f"{self.node_id!r} (starts at {self.first_index})"
+            )
+        offset = self.first_index
+        return self.entries[start - offset:end - offset + 1]
 
     def size_bytes(self):
         return sum(entry.size_bytes() for entry in self.entries)
 
     def last_checkpoint_before(self, index):
-        """The latest CHK entry at or before *index*, or None."""
-        for entry in reversed(self.entries[:index]):
+        """The latest retained CHK entry at or before *index*, or None."""
+        if index < self.first_index:
+            return None
+        for entry in reversed(self.entries[:index - self.first_index + 1]):
             if entry.entry_type == CHK:
                 return entry
         return None
+
+    def truncate_below(self, floor):
+        """Discard entries below *floor* (which must be a retained CHK
+        entry — the checkpoint that seeds replay for everything the
+        truncation throws away). Keeps ``h_{floor-1}`` as the tombstone
+        anchor, so ``retrieve(since_index >= floor-1)``, suffix
+        authentication, and checkpoint-seeded replay still verify.
+
+        Returns the committed bytes reclaimed (0 when *floor* is at or
+        below the current base).
+        """
+        if floor <= self.first_index:
+            return 0
+        if floor > len(self):
+            raise ValueError(
+                f"retention floor {floor} is past the log head {len(self)}"
+            )
+        pivot = self.entry(floor)
+        if pivot.entry_type != CHK:
+            raise ValueError(
+                f"retention floor {floor} is a {pivot.entry_type!r} entry; "
+                "truncation must anchor on a checkpoint"
+            )
+        dropped = self.entries[:floor - self.first_index]
+        reclaimed = sum(entry.size_bytes() for entry in dropped)
+        self.entries = self.entries[floor - self.first_index:]
+        self.chain.truncate_below(floor)
+        self.first_index = floor
+        self.discarded_entries += len(dropped)
+        return reclaimed
 
     # ------------------------------------------------------- construction
 

@@ -84,11 +84,13 @@ class NodeView:
     """
 
     __slots__ = ("node", "status", "_graph", "log_len", "verdict_reason",
-                 "replay", "head_index", "head_hash", "head_time")
+                 "replay", "head_index", "head_hash", "head_time",
+                 "base_index", "base_time")
 
     def __init__(self, node, status, graph=None, log_len=0,
                  verdict_reason=None, replay=None, head_index=0,
-                 head_hash=None, head_time=float("-inf")):
+                 head_hash=None, head_time=float("-inf"),
+                 base_index=0, base_time=float("-inf")):
         self.node = node
         self.status = status
         self._graph = graph
@@ -102,6 +104,14 @@ class NodeView:
         #: peers hold evidence for at a later t may simply postdate this
         #: view; its absence proves nothing yet).
         self.head_time = head_time
+        #: Where verified coverage *starts*: a checkpoint-anchored build
+        #: (GC'd log, or ``use_checkpoints``) replays from the checkpoint
+        #: at ``base_index``/``base_time``, so the absence of a vertex
+        #: strictly *below* ``base_time`` proves nothing either — it
+        #: resolves yellow, never red (red stays reserved for proof).
+        #: 0 / -inf for a from-entry-1 build.
+        self.base_index = base_index
+        self.base_time = base_time
 
     @property
     def graph(self):
@@ -152,7 +162,7 @@ class _BuildOutcome:
     __slots__ = ("node", "kind", "view", "base_view", "response", "hashes",
                  "stats", "checked", "cursor", "from_mirror",
                  "replay_result", "reset_memo", "evidence_prefix",
-                 "replay_mutated", "recovered", "skipped")
+                 "replay_mutated", "recovered", "skipped", "tombstoned")
 
     def __init__(self, node, kind, stats):
         self.node = node
@@ -178,6 +188,7 @@ class _BuildOutcome:
         #: Pending-skip registry traffic (see MicroQuerier._pending_skipped).
         self.recovered = ()
         self.skipped = ()
+        self.tombstoned = ()
 
     def finalized(self, view):
         self.kind = "final"
@@ -203,7 +214,7 @@ class _BuildJob:
 
     __slots__ = ("mq", "node", "kind", "base_view", "stats", "response",
                  "from_mirror", "reset_memo", "cursor", "evidence_prefix",
-                 "outcome", "factory")
+                 "outcome", "factory", "floor_strict")
 
     def __init__(self, mq, node, base_view=None):
         self.mq = mq
@@ -218,6 +229,7 @@ class _BuildJob:
         self.evidence_prefix = 0
         self.outcome = None
         self.factory = mq.deployment.app_factories.get(node)
+        self.floor_strict = False
 
     # ------------------------------------------------------------- fetch
 
@@ -225,9 +237,19 @@ class _BuildJob:
         """Retrieve this node's segment and assemble the work item.
 
         Returns a BuildWork, or None when the job finished at fetch time
-        (``self.outcome`` holds the final outcome: unreachable nodes, and
-        refresh targets that kept their stale-but-verified view).
+        (``self.outcome`` holds the final outcome: unreachable nodes,
+        refresh targets that kept their stale-but-verified view, and
+        nodes already convicted by the retention handshake).
         """
+        fault = self.mq.deployment.retention_fault_of(self.node)
+        if fault is not None:
+            # Convicted at handshake time (e.g. a signed floor above a
+            # live auditor's head): the proof stands without asking the
+            # node anything — its log can never be trusted again.
+            self.outcome = self._final(
+                NodeView(self.node, PROVEN_FAULTY, verdict_reason=fault)
+            )
+            return None
         if self.kind == "extended":
             return self._fetch_extend()
         return self._fetch_full()
@@ -285,6 +307,11 @@ class _BuildJob:
         self.kind = "built"
         self.base_view = None
         self.reset_memo = True
+        # A full build that asks for the untruncated log holds a GC'd
+        # node to its signed floor: a direct response anchored above it
+        # is a retention violation (checkpoint-mode fetches legitimately
+        # anchor on any newer checkpoint, so they cannot enforce this).
+        self.floor_strict = not mq.use_checkpoints
         node = mq.deployment.nodes.get(node_id)
         if response is None:
             if node is not None:
@@ -348,6 +375,8 @@ class _BuildJob:
             base_replay=view.replay if view is not None else None,
             factory=mq.deployment.app_factories.get(node_id),
             spec_cache=mq._batch_spec_cache,
+            floor=mq.deployment.advertised_floor_of(node_id),
+            floor_strict=self.floor_strict,
         )
 
     # ------------------------------------------------------------ absorb
@@ -377,6 +406,7 @@ class _BuildJob:
         outcome.checked = set(result.checked)
         outcome.recovered = tuple(result.recovered)
         outcome.skipped = tuple(result.skipped)
+        outcome.tombstoned = tuple(result.tombstoned)
         outcome.hashes = result.hashes
         outcome.replay_mutated = result.replay_ran
         replay = result.replay_result
@@ -767,9 +797,15 @@ class MicroQuerier:
                 head_time = response.checkpoint.timestamp
             else:
                 head_time = float("-inf")
+            if response.checkpoint is not None:
+                base_index = response.checkpoint.index
+                base_time = response.checkpoint.timestamp
+            else:
+                base_index, base_time = 0, float("-inf")
             return NodeView(node_id, OK, log_len=end_index, replay=result,
                             head_index=end_index, head_hash=head_hash,
-                            head_time=head_time)
+                            head_time=head_time,
+                            base_index=base_index, base_time=base_time)
         view = outcome.base_view
         if response.entries:
             self._harvest_evidence(response)
@@ -785,10 +821,14 @@ class MicroQuerier:
 
     def _commit_pending_skips(self, node_id, outcome):
         """Drain retroactively checked authenticators from the pending
-        registry and admit the pass's newly skipped ones."""
+        registry — and tombstoned ones (below the node's GC'd retention
+        floor, so no future segment can ever check them) — then admit
+        the pass's newly skipped ones."""
         pending = self._pending_skipped.get(node_id)
         if pending:
             for sig in outcome.recovered:
+                pending.pop(sig, None)
+            for sig in outcome.tombstoned:
                 pending.pop(sig, None)
             if not pending:
                 del self._pending_skipped[node_id]
@@ -800,6 +840,18 @@ class MicroQuerier:
                 if sig in known or sig in outcome.checked:
                     continue
                 table.setdefault(sig, auth)
+
+    def low_water_marks(self):
+        """The standing-auditor half of the retention handshake: per
+        node, the head index this querier has verified up to. A GC pass
+        (``Deployment.run_gc``) never truncates a registered querier's
+        node above this mark, so every cached ``ok`` view stays
+        delta-refreshable across GC."""
+        return {
+            node: view.head_index
+            for node, view in self._views.items()
+            if view.status == OK and view.head_index > 0
+        }
 
     def pending_skipped(self, node_id):
         """The (peer, index) pairs of authenticators whose check is still
@@ -890,6 +942,16 @@ class MicroQuerier:
         real = view.graph.get(vertex.key())
         if real is not None:
             return real, real.color
+        if vertex.t is not None and vertex.t < view.base_time:
+            # The vertex predates this view's verified coverage: the log
+            # prefix below the checkpoint anchor (GC'd, or skipped by a
+            # checkpoint-mode fetch) was never replayed, so absence
+            # proves nothing. Tuples still extant/believed at the
+            # checkpoint are seeded into the graph and found above; what
+            # is truly gone resolves yellow — honest unresolved, never a
+            # silent green and never an unprovable red.
+            vertex.set_color(Color.YELLOW)
+            return vertex, Color.YELLOW
         if vertex.t is not None and vertex.t >= view.head_time:
             # The vertex postdates this view's verified head (the host's
             # view may be stale — e.g. kept through a refresh while the

@@ -171,6 +171,13 @@ class QueryProcessor:
         self.epoch += 1
         return self.epoch
 
+    def low_water_marks(self):
+        """Per-node verified heads, advertised to the retention handshake
+        when this processor is registered via
+        ``Deployment.register_querier`` (see
+        :meth:`repro.snp.microquery.MicroQuerier.low_water_marks`)."""
+        return self.mq.low_water_marks()
+
     # ---------------------------------------------------------- entry points
 
     def why(self, tup, node=None, at=None, scope=None):

@@ -431,17 +431,26 @@ class BuildWork:
     / ``head_hash`` anchor the suffix and ``base_replay`` is the retained
     replay to advance. ``factory`` is the live application factory;
     ``app_spec`` its registry form (resolved on the far side of a process
-    boundary).
+    boundary). ``floor`` is the node's advertised retention floor (0 =
+    never advertised): evidence below it is tombstoned (permanently
+    uncheckable — the prefix is GC'd) instead of left pending, and with
+    ``floor_strict`` (a full build that asked for the untruncated log) a
+    direct response anchored *above* the floor convicts the node of
+    over-truncation.
     """
 
     __slots__ = ("node", "kind", "response", "known", "held", "pending",
                  "consistency", "alarms", "head_index", "head_hash",
-                 "base_replay", "factory", "app_spec", "spec_cache")
+                 "base_replay", "factory", "app_spec", "spec_cache",
+                 "floor", "floor_strict")
 
     def __init__(self, node, kind, response, known=frozenset(), held=(),
                  pending=(), consistency=None, alarms=frozenset(),
                  head_index=0, head_hash=None, base_replay=None,
-                 factory=None, app_spec=None, spec_cache=None):
+                 factory=None, app_spec=None, spec_cache=None,
+                 floor=0, floor_strict=False):
+        self.floor = floor
+        self.floor_strict = floor_strict
         self.node = node
         self.kind = kind
         self.response = response
@@ -493,16 +502,18 @@ class BuildWork:
                 self.head_index, self.head_hash,
                 None if self.base_replay is None
                 else replay_handle_to_wire(self.base_replay),
-                app_spec)
+                app_spec, self.floor, self.floor_strict)
 
     @classmethod
     def from_wire(cls, wire, context):
         (_tag, node, kind, response, known, held, pending, consistency,
-         alarms, head_index, head_hash, base_replay, app_spec) = wire
+         alarms, head_index, head_hash, base_replay, app_spec,
+         floor, floor_strict) = wire
         work = cls(
             node, kind, response, known=known, held=held, pending=pending,
             consistency=consistency, alarms=alarms,
             head_index=head_index, head_hash=head_hash, app_spec=app_spec,
+            floor=floor, floor_strict=floor_strict,
         )
         if base_replay is not None:
             work.base_replay = replay_handle_from_wire(
@@ -526,8 +537,8 @@ class CompactOutcome:
     """
 
     __slots__ = ("node", "kind", "status", "reason", "hashes", "checked",
-                 "recovered", "skipped", "stats", "replay_result",
-                 "replay_ran")
+                 "recovered", "skipped", "tombstoned", "stats",
+                 "replay_result", "replay_ran")
 
     OK = "ok"
     VERIFY_FAILED = "verify-failed"
@@ -542,6 +553,10 @@ class CompactOutcome:
         self.checked = set()
         self.recovered = []
         self.skipped = []
+        # Pending-skip signatures proven permanently uncheckable: they
+        # fall below the node's advertised retention floor, whose prefix
+        # GC discarded — the registry drains them (see microquery).
+        self.tombstoned = []
         self.stats = None
         self.replay_result = None
         #: Whether replay advanced over suffix entries — for extends this
@@ -562,13 +577,13 @@ class CompactOutcome:
         return ("W.outcome", self.node, self.kind, self.status, self.reason,
                 None if self.hashes is None else tuple(self.hashes),
                 tuple(sorted(self.checked)), tuple(self.recovered),
-                tuple(self.skipped), stats_to_wire(self.stats),
-                replay_blob, self.replay_ran)
+                tuple(self.skipped), tuple(self.tombstoned),
+                stats_to_wire(self.stats), replay_blob, self.replay_ran)
 
     @classmethod
     def from_wire(cls, wire, machine_factory):
         (_tag, node, kind, status, reason, hashes, checked, recovered,
-         skipped, stats, replay_blob, replay_ran) = wire
+         skipped, tombstoned, stats, replay_blob, replay_ran) = wire
         outcome = cls(node, kind)
         outcome.status = status
         outcome.reason = reason
@@ -576,6 +591,7 @@ class CompactOutcome:
         outcome.checked = set(checked)
         outcome.recovered = list(recovered)
         outcome.skipped = list(skipped)
+        outcome.tombstoned = list(tombstoned)
         outcome.stats = stats_from_wire(stats)
         if replay_blob is not None:
             outcome.replay_result = LazyReplay(replay_blob, machine_factory)
@@ -670,13 +686,50 @@ def _verify_response(work, context, stats, outcome):
        signatures from their claimed signers.
     5. Consistency check (Section 5.5): evidence peers hold about this
        node must lie on the same chain; new below-anchor skips are
-       reported for the pending registry.
+       reported for the pending registry — except those below the node's
+       advertised retention floor *and* the segment anchor, which are
+       tombstoned (the prefix is GC'd; no future segment can ever check
+       them).
+    6. An attached checkpoint must *anchor* the returned segment
+       (``checkpoint.index + 1 == start_index`` and ``start_hash`` equal
+       to the checkpoint's own chain hash) — otherwise the responder is
+       pairing a stale snapshot with a different suffix, which would
+       silently corrupt checkpoint-seeded replay.
+    7. Retention coverage: a full build that asked for the untruncated
+       log but got a direct response anchored *above* the node's signed
+       retention floor proves the node truncated below what it
+       advertised.
 
     Returns the recomputed chain hashes aligned with the entries.
     """
     node_id = work.node
     response = work.response
     public_key = context.public_keys[node_id]
+    if response.checkpoint is not None:
+        chk = response.checkpoint
+        if chk.index + 1 != response.start_index \
+                or chk.entry_hash != response.start_hash:
+            raise LogVerificationError(
+                node_id,
+                f"attached checkpoint (entry {chk.index}) does not anchor "
+                f"the returned segment starting at {response.start_index} "
+                "— the replay seed and the suffix belong to different "
+                "prefixes",
+            )
+    if work.floor and work.floor_strict and work.kind == "built" \
+            and not response.from_mirror:
+        # The anchor claim is start_index - 1; a lie about it cannot
+        # evade conviction: the chain recomputation from the claimed
+        # start_hash up to the *signed* head authenticator fails unless
+        # the anchor is genuine.
+        anchor = response.start_index - 1
+        if anchor > work.floor:
+            raise LogVerificationError(
+                node_id,
+                f"log served from entry {anchor + 1} cannot anchor at the "
+                f"advertised retention floor {work.floor} — the node "
+                "truncated below what it signed (retention violation)",
+            )
     verify_auth(public_key, response.head_auth, stats)
     hashes = verify_segment_hashes(response)
     check_against_authenticator(response, hashes, response.head_auth, stats)
@@ -693,7 +746,14 @@ def _verify_response(work, context, stats, outcome):
             outcome.recovered.append(sig)  # verified on this chain already
             continue
         if auth.index < first - 1:
-            continue  # still below the anchor; stays pending, not recounted
+            # Below this segment's anchor: the response in hand cannot
+            # check it. Below the node's signed retention floor too, no
+            # *future* segment ever will — drain the registry entry (the
+            # coverage loss stays visible); otherwise it stays pending.
+            if work.floor and auth.index < work.floor:
+                stats.auth_checks_tombstoned += 1
+                outcome.tombstoned.append(sig)
+            continue
         check_against_authenticator(response, hashes, auth, stats)
         stats.auth_checks_recovered += 1
         outcome.recovered.append(sig)
@@ -703,6 +763,13 @@ def _verify_response(work, context, stats, outcome):
     if context.verify_embedded_signatures:
         _verify_embedded(node_id, response, context, stats)
     if work.consistency is not None:
+        def on_skip(auth):
+            if work.floor and auth.index < work.floor:
+                # Below the GC'd prefix: never checkable by any later
+                # build — tombstone instead of pending forever.
+                stats.auth_checks_tombstoned += 1
+                return
+            outcome.skipped.append(auth)
         for auth in work.consistency:
             sig = bytes(auth.signature)
             if sig in work.known or sig in outcome.checked:
@@ -712,7 +779,7 @@ def _verify_response(work, context, stats, outcome):
             except AuthenticationError:
                 continue  # not actually signed by node_id; ignore
             check_against_authenticator(response, hashes, auth, stats,
-                                        on_skip=outcome.skipped.append)
+                                        on_skip=on_skip)
             note_checked(outcome.checked, response, auth)
     return hashes
 

@@ -1,0 +1,548 @@
+"""Checkpoint GC: the retention handshake keeps logs bounded while the
+audit semantics survive truncation.
+
+The invariants under test (ISSUE 5):
+
+* an honest GC'd node stays green — standing auditors keep delta-
+  refreshing across the floor, cold builds seed from the anchor
+  checkpoint, and nothing turns red;
+* a GC'd prefix only ever turns verdicts into honest yellow — a cold
+  build below the floor resolves unreachable history as unresolved,
+  never as a silent green and never as an unprovable red;
+* an over-eager truncator (discards entries it signed a floor for) is
+  convicted the moment a full build observes the missing coverage;
+* a floor-liar (advertises a floor above a live auditor's verified
+  head) is convicted at handshake time from the signed evidence alone;
+* pre-GC convictions remain reproducible: signed proof does not expire;
+* mirrors participate in the same floors, and a crashed origin's view
+  is still served — checkpoint-anchored — from its GC'd mirror;
+* serial ≡ wire ≡ process builds stay bit-identical post-GC.
+"""
+
+import pytest
+
+from repro.apps.mincost import best_cost, build_paper_network, link
+from repro.snp import Deployment, QueryProcessor
+from repro.snp.adversary import (
+    FloorLiarNode, ForkingNode, OverTruncatingNode,
+)
+from repro.snp.microquery import OK, PROVEN_FAULTY
+from repro.util.errors import ConfigurationError
+
+
+def _net(seed, overrides=None):
+    dep = Deployment(seed=seed, key_bits=256)
+    nodes = build_paper_network(dep, node_overrides=overrides or {})
+    dep.run()
+    return dep, nodes
+
+
+def _standing_auditor(dep):
+    qp = QueryProcessor(dep)
+    dep.register_querier(qp)
+    qp.prefetch()
+    return qp
+
+
+def _fingerprint(result):
+    return sorted((str(v.key()), v.color) for v in result.graph.vertices())
+
+
+class TestHandshake:
+    def test_low_water_marks_are_min_over_auditors(self):
+        dep, _nodes = _net(seed=400)
+        qp1 = _standing_auditor(dep)
+        qp2 = QueryProcessor(dep)
+        dep.register_querier(qp2)
+        qp2.mq.view_of("a")
+        marks = dep.collect_low_water_marks()
+        assert set(qp1.low_water_marks()) == set(dep.nodes)
+        assert marks["a"] == min(qp1.low_water_marks()["a"],
+                                 qp2.low_water_marks()["a"])
+        # qp2 holds no view of b: only qp1 constrains it.
+        assert marks["b"] == qp1.low_water_marks()["b"]
+
+    def test_register_querier_requires_low_water_marks(self):
+        dep, _nodes = _net(seed=401)
+        with pytest.raises(ConfigurationError):
+            dep.register_querier(object())
+
+    def test_advertisements_are_signed_and_recorded(self):
+        dep, _nodes = _net(seed=402)
+        dep.checkpoint_all()
+        _standing_auditor(dep)   # marks cover the checkpoints
+        dep.run_gc(checkpoint=False)
+        from repro.snp.evidence import verify_retention_floor
+        for name in dep.nodes:
+            advert = dep.retention_floors[name]
+            assert verify_retention_floor(dep.public_key_of(name), advert)
+            assert advert.floor_index == dep.advertised_floor_of(name)
+
+    def test_floor_never_exceeds_auditor_marks(self):
+        dep, nodes = _net(seed=403)
+        dep.checkpoint_all()     # eligible anchors, below the marks
+        qp = _standing_auditor(dep)
+        nodes["a"].insert(link("a", "z", 2))
+        dep.run()
+        dep.checkpoint_all()     # newer anchors, above the stale marks
+        # The auditor has NOT refreshed: every floor must stay at or
+        # below its (now stale) verified heads.
+        marks = qp.low_water_marks()
+        dep.run_gc(checkpoint=False)
+        for name in dep.nodes:
+            assert 0 < dep.advertised_floor_of(name) <= marks[name]
+        assert not dep.maintainer.retention_faults
+
+
+class TestHonestGc:
+    def _grown(self, seed=410):
+        dep, nodes = _net(seed=seed)
+        qp = _standing_auditor(dep)
+        dep.checkpoint_all()
+        nodes["a"].insert(link("a", "z", 2))
+        dep.run()
+        qp.refresh()
+        return dep, nodes, qp
+
+    def test_gc_reclaims_bytes_and_stays_green(self):
+        dep, nodes, qp = self._grown()
+        before = {n: node.log.size_bytes() for n, node in dep.nodes.items()}
+        reclaimed = dep.run_gc(checkpoint=False)
+        assert reclaimed > 0
+        assert dep.gc_meter.gc_passes == 1
+        assert dep.gc_meter.log_bytes_reclaimed == reclaimed
+        assert dep.gc_meter.entries_discarded > 0
+        after = {n: node.log.size_bytes() for n, node in dep.nodes.items()}
+        assert sum(after.values()) < sum(before.values())
+        assert any(node.log.truncated for node in dep.nodes.values())
+        # The standing auditor keeps working across the truncation.
+        nodes["b"].insert(link("b", "y", 9))
+        dep.run()
+        qp.refresh()
+        result = qp.why(best_cost("c", "d", 5))
+        assert result.is_clean()
+
+    def test_cold_build_after_gc_is_checkpoint_seeded_and_green(self):
+        dep, _nodes, _qp = self._grown(seed=411)
+        dep.run_gc(checkpoint=False)
+        cold = QueryProcessor(dep)
+        result = cold.why(best_cost("c", "d", 5))
+        assert not result.red_vertices()
+        view = cold.mq.view_of("c")
+        assert view.status == OK
+        assert view.base_index == dep.nodes["c"].log.first_index
+        assert view.base_index > 1
+
+    def test_absence_below_the_floor_resolves_yellow_not_red(self):
+        dep, nodes, qp = self._grown(seed=412)
+        # A vertex the pre-GC auditor verified below the eventual floor:
+        # the *closed* exist interval of the link a→z=2 costs, or any
+        # vertex from the truncated prefix that is no longer extant.
+        view_before = qp.mq.view_of("a")
+        pre_vertices = [
+            v for v in view_before.graph.vertices() if v.t_end is not None
+        ]
+        assert pre_vertices
+        dep.run_gc(checkpoint=False)
+        floor_t = dep.retention_floors["a"].floor_time
+        gone = [v for v in pre_vertices if v.t < floor_t]
+        assert gone, "expected closed intervals below the retention floor"
+        cold = QueryProcessor(dep)
+        from repro.provgraph.graph import _clone_vertex
+        for vertex in gone:
+            probe = _clone_vertex(vertex)
+            resolved, color = cold.mq.resolve(probe)
+            assert color != "red", (
+                "absence below the GC floor must never be treated as "
+                f"proof: {vertex.describe()} resolved {color}"
+            )
+
+    def test_enable_gc_cadence_bounds_logs(self):
+        dep, nodes = _net(seed=413)
+        qp = _standing_auditor(dep)
+        dep.enable_gc(2.0)
+        for k in range(3):
+            nodes["a"].insert(link("a", f"x{k}", 3 + k))
+            dep.run_until(dep.sim.now + 2.5)
+            qp.refresh()
+        dep.run()
+        assert dep.gc_meter.gc_passes >= 3
+        assert dep.gc_meter.log_bytes_reclaimed > 0
+        with pytest.raises(ConfigurationError):
+            dep.enable_gc(0)
+        dep.disable_gc()
+
+
+class TestAdversarialGc:
+    def test_over_eager_truncator_convicted(self):
+        dep, nodes = _net(seed=420, overrides={"b": OverTruncatingNode})
+        qp = _standing_auditor(dep)
+        dep.checkpoint_all()               # the floor-eligible checkpoint
+        nodes["a"].insert(link("a", "z", 2))
+        dep.run()
+        qp.refresh()
+        dep.checkpoint_all()               # newer checkpoint, above marks
+        nodes["b"].insert(link("b", "y", 9))
+        dep.run()
+        dep.run_gc(checkpoint=False)
+        advertised = dep.advertised_floor_of("b")
+        assert nodes["b"].log.first_index > advertised, \
+            "the adversary must actually truncate below its advertisement"
+        # Over-truncation is not a handshake-time fault (the signed
+        # advertisement itself was honest) ...
+        assert dep.maintainer.retention_fault_of("b") is None
+        # ... but any full build observes the missing coverage: proof.
+        cold = QueryProcessor(dep)
+        view = cold.mq.view_of("b")
+        assert view.status == PROVEN_FAULTY
+        assert "retention" in view.verdict_reason
+        # Every vertex hosted on the violator resolves red — proof, not
+        # suspicion (the standing auditor's pre-GC view supplies probes).
+        from repro.provgraph.graph import _clone_vertex
+        probe = _clone_vertex(
+            next(iter(qp.mq.view_of("b").graph.vertices()))
+        )
+        _resolved, color = cold.mq.resolve(probe)
+        assert color == "red"
+
+    def test_floor_liar_convicted_at_handshake(self):
+        dep, nodes = _net(seed=421, overrides={"b": FloorLiarNode})
+        qp = _standing_auditor(dep)
+        dep.checkpoint_all()
+        nodes["a"].insert(link("a", "z", 2))
+        dep.run()                       # b's newest checkpoint > marks
+        dep.run_gc(checkpoint=True)
+        faults = dep.maintainer.retention_faults
+        assert any(f["node"] == "b" for f in faults)
+        fault = next(f for f in faults if f["node"] == "b")
+        assert fault["advert"].floor_index > fault["mark"]
+        # The conviction reaches every querier without trusting b again.
+        qp.refresh()
+        assert qp.mq.view_of("b").status == PROVEN_FAULTY
+        cold = QueryProcessor(dep)
+        assert cold.mq.view_of("b").status == PROVEN_FAULTY
+        result = cold.why(best_cost("c", "d", 5))
+        assert "b" in result.faulty_nodes()
+
+    def test_honest_nodes_unaffected_by_a_convicted_liar(self):
+        dep, nodes = _net(seed=422, overrides={"b": FloorLiarNode})
+        _standing_auditor(dep)
+        dep.checkpoint_all()
+        nodes["a"].insert(link("a", "z", 2))
+        dep.run()
+        dep.run_gc()
+        cold = QueryProcessor(dep)
+        for name in dep.nodes:
+            expected = PROVEN_FAULTY if name == "b" else OK
+            assert cold.mq.view_of(name).status == expected
+
+    def test_pre_gc_conviction_remains_reproducible(self):
+        dep, nodes = _net(seed=423, overrides={"b": ForkingNode})
+        qp = _standing_auditor(dep)
+        assert qp.mq.view_of("b").status == OK
+        nodes["b"].fork_log(keep_upto=3)
+        nodes["b"].insert(link("b", "w", 8))
+        dep.run()
+        qp.refresh()
+        assert qp.mq.view_of("b").status == PROVEN_FAULTY
+        reason = qp.mq.view_of("b").verdict_reason
+        # GC the honest nodes; the forker's conviction must survive both
+        # the pass and later refreshes (signed proof does not expire).
+        dep.run_gc()
+        qp.refresh()
+        view = qp.mq.view_of("b")
+        assert view.status == PROVEN_FAULTY
+        assert view.verdict_reason == reason
+
+    def test_crashed_origin_served_from_gcd_mirror(self):
+        dep, nodes = _net(seed=424)
+        dep.enable_replication(2.0)
+        qp = _standing_auditor(dep)
+        dep.checkpoint_all()
+        nodes["a"].insert(link("a", "z", 2))
+        dep.run()                       # replication ships the checkpoints
+        qp.refresh()
+        dep.run_gc(checkpoint=False)
+        assert dep.gc_meter.mirror_bytes_reclaimed > 0
+        mirror = dep.find_mirror("a")
+        assert mirror.checkpoint is not None
+        assert mirror.start_index == mirror.checkpoint.index + 1
+
+        # Crash the origin: retrieve goes dark, wires are dropped.
+        dep.drop_wires_to("a")
+        dep.nodes["a"].retrieve = lambda **kwargs: None
+        cold = QueryProcessor(dep)
+        view = cold.mq.view_of("a")
+        assert view.status == OK
+        assert view.base_index == mirror.checkpoint.index
+        result = cold.why(best_cost("c", "d", 5))
+        assert not result.red_vertices()
+        del dep.nodes["a"].retrieve
+
+
+class TestRetentionHardening:
+    """Adversarial edge paths around the floor machinery: a stale
+    checkpoint cannot be paired with a deeper suffix, a self-truncated
+    origin cannot shrink a replica's evidence, checkable pending
+    evidence is never tombstoned, and the GC cadence is honored."""
+
+    def test_stale_checkpoint_with_deeper_suffix_is_proof(self):
+        dep, nodes = _net(seed=440)
+        dep.checkpoint_all()
+        nodes["a"].insert(link("a", "z", 2))
+        dep.run()
+        dep.checkpoint_all()
+        node = dep.nodes["a"]
+        chk1 = next(e for e in node.log.entries if e.entry_type == "chk")
+        honest = node.retrieve(from_checkpoint=True)
+        assert honest.checkpoint.index > chk1.index
+        from repro.snp.snoopy import RetrieveResponse
+        forged = RetrieveResponse(
+            node="a", entries=honest.entries,
+            start_index=honest.start_index, start_hash=honest.start_hash,
+            head_auth=honest.head_auth, checkpoint=chk1,
+        )
+        node.retrieve = lambda **kwargs: forged
+        try:
+            qp = QueryProcessor(dep, use_checkpoints=True)
+            view = qp.mq.view_of("a")
+        finally:
+            del node.retrieve
+        assert view.status == PROVEN_FAULTY
+        assert "does not anchor" in view.verdict_reason
+
+    def test_truncated_push_cannot_shrink_a_fuller_mirror(self):
+        dep, nodes = _net(seed=441)
+        node = dep.nodes["a"]
+        full_copy = node.retrieve()
+        dep.checkpoint_all()
+        nodes["a"].insert(link("a", "z", 2))
+        dep.run()
+        chk = node.log.last_checkpoint_before(len(node.log))
+        node.log.truncate_below(chk.index)
+        pushed = node.retrieve()        # checkpoint-anchored, newer head
+        assert pushed.checkpoint is not None
+        assert pushed.head_auth.index > full_copy.head_auth.index
+        from repro.snp.snoopy import merge_mirror_responses
+        assert merge_mirror_responses(full_copy, pushed) is None
+        # A replica holding nothing still accepts it (it can seed).
+        assert merge_mirror_responses(None, pushed) is pushed
+
+    def test_checkable_pending_evidence_is_checked_not_tombstoned(self):
+        dep, _nodes = _net(seed=442)
+        node = dep.nodes["a"]
+        full = node.retrieve()
+        entry = node.log.entry(2)
+        from repro.snp.evidence import sign_authenticator
+        from repro.snp.wire import BuildContext, BuildWork, compute_build
+        good = sign_authenticator(node.identity, 2, entry.timestamp,
+                                  entry.entry_hash)
+        context = BuildContext(
+            {n: dep.public_key_of(n) for n in dep.nodes},
+            t_prop=dep.effective_t_prop(),
+        )
+        # The advertised floor is far above entry 2, but the segment in
+        # hand starts at entry 1: the evidence is checkable NOW, so it
+        # must be checked (and recovered), never drained unexamined.
+        work = BuildWork("a", "built", full, pending=(good,),
+                         floor=len(node.log), floor_strict=False,
+                         factory=dep.app_factories["a"],
+                         consistency=())
+        outcome = compute_build(work, context)
+        assert outcome.status == outcome.OK
+        assert bytes(good.signature) in outcome.recovered
+        assert not outcome.tombstoned
+        assert outcome.stats.auth_checks_tombstoned == 0
+        assert outcome.stats.auth_checks_recovered == 1
+        # An equivocating authenticator in the same position is proof —
+        # the conviction a premature tombstone would have discarded.
+        bad = sign_authenticator(node.identity, 2, entry.timestamp,
+                                 "f" * 64)
+        work = BuildWork("a", "built", full, pending=(bad,),
+                         floor=len(node.log), floor_strict=False,
+                         factory=dep.app_factories["a"],
+                         consistency=())
+        outcome = compute_build(work, context)
+        assert outcome.status == outcome.VERIFY_FAILED
+
+    def test_pending_below_anchor_and_floor_is_tombstoned(self):
+        dep, nodes = _net(seed=443)
+        node = dep.nodes["a"]
+        entry = node.log.entry(2)
+        from repro.snp.evidence import sign_authenticator
+        from repro.snp.wire import BuildContext, BuildWork, compute_build
+        old = sign_authenticator(node.identity, 2, entry.timestamp,
+                                 entry.entry_hash)
+        dep.checkpoint_all()
+        chk = node.log.last_checkpoint_before(len(node.log))
+        node.log.truncate_below(chk.index)
+        truncated = node.retrieve()
+        assert truncated.start_index > 2
+        context = BuildContext(
+            {n: dep.public_key_of(n) for n in dep.nodes},
+            t_prop=dep.effective_t_prop(),
+        )
+        work = BuildWork("a", "built", truncated, pending=(old,),
+                         floor=chk.index, floor_strict=False,
+                         factory=dep.app_factories["a"],
+                         consistency=())
+        outcome = compute_build(work, context)
+        assert outcome.status == outcome.OK
+        assert bytes(old.signature) in outcome.tombstoned
+        assert outcome.stats.auth_checks_tombstoned == 1
+
+    def test_lagging_mirror_reseeds_at_a_sanctioned_floor(self):
+        dep, nodes = _net(seed=445)
+        dep.replicate_deltas()     # replicas hold full (pre-GC) copies
+        # Activity the replicas never hear about: the eventual floors
+        # land strictly above the stored heads plus their tombstones.
+        nodes["a"].insert(link("a", "w", 4))
+        dep.run()
+        qp = _standing_auditor(dep)
+        dep.checkpoint_all()
+        nodes["a"].insert(link("a", "z", 2))
+        dep.run()
+        qp.refresh()
+        dep.run_gc(checkpoint=False)   # floors pass the stale mirror heads
+        origin = dep.nodes["a"]
+        assert origin.log.truncated
+        floor = dep.advertised_floor_of("a")
+        holders = [n for n in dep.nodes.values()
+                   if n.node_id != "a" and n.mirror_of("a") is not None]
+        stale = [h for h in holders
+                 if h.mirror_of("a").head_auth.index < len(origin.log)]
+        assert stale, "expected replicas lagging behind the GC'd origin"
+        # The next delta pass must not freeze: the sanctioned
+        # checkpoint-anchored fallback re-seeds the stale copies.
+        before_bytes = dep.traffic.totals()["replication"]
+        pushes = dep.replicate_deltas()
+        assert pushes > 0
+        for holder in stale:
+            mirror = holder.mirror_of("a")
+            assert mirror.head_auth.index == len(origin.log)
+            assert mirror.start_index == floor + 1
+        assert dep.traffic.totals()["replication"] > before_bytes
+        # And a now-quiescent pass stores nothing — so it charges nothing.
+        before_bytes = dep.traffic.totals()["replication"]
+        assert dep.replicate_deltas() == 0
+        assert dep.traffic.totals()["replication"] == before_bytes
+
+    def test_unsanctioned_truncation_does_not_reseed_mirrors(self):
+        dep, nodes = _net(seed=446, overrides={"b": FloorLiarNode})
+        dep.replicate_deltas()
+        qp = _standing_auditor(dep)
+        dep.checkpoint_all()
+        nodes["a"].insert(link("a", "z", 2))
+        dep.run()
+        dep.run_gc(checkpoint=True)    # convicts b, which self-truncates
+        assert dep.maintainer.retention_fault_of("b") is not None
+        assert nodes["b"].log.truncated
+        stored_heads = {
+            n.node_id: n.mirror_of("b").head_auth.index
+            for n in dep.nodes.values()
+            if n.node_id != "b" and n.mirror_of("b") is not None
+        }
+        assert stored_heads
+        dep.replicate_deltas()
+        for holder in dep.nodes.values():
+            mirror = holder.mirror_of("b")
+            if mirror is None or holder.node_id == "b":
+                continue
+            # The fuller pre-truncation evidence is kept, not replaced
+            # by the convicted liar's shallower re-push.
+            assert mirror.start_index == 1
+            assert mirror.head_auth.index \
+                == stored_heads[holder.node_id]
+
+    def test_mirror_reclaim_counts_only_dropped_entries(self):
+        dep, nodes = _net(seed=447)
+        dep.enable_replication(2.0)
+        qp = _standing_auditor(dep)
+        dep.checkpoint_all()
+        nodes["a"].insert(link("a", "z", 2))
+        dep.run()
+        qp.refresh()
+        stored_before = {
+            (holder.node_id, origin):
+                [e.size_bytes() for e in resp.entries]
+            for holder in dep.nodes.values()
+            for origin, resp in holder.mirror_store.items()
+        }
+        floors_stored = {
+            (holder.node_id, origin): resp.start_index
+            for holder in dep.nodes.values()
+            for origin, resp in holder.mirror_store.items()
+        }
+        dep.run_gc(checkpoint=False)
+        expected = 0
+        for holder in dep.nodes.values():
+            for origin, resp in holder.mirror_store.items():
+                key = (holder.node_id, origin)
+                if resp.checkpoint is None:
+                    continue  # untrimmed
+                start = floors_stored[key]
+                dropped = resp.checkpoint.index - start
+                if dropped > 0:
+                    expected += sum(stored_before[key][:dropped])
+        assert dep.gc_meter.mirror_bytes_reclaimed == expected
+        assert expected > 0
+
+    def test_run_honors_the_gc_cadence(self):
+        dep, nodes = _net(seed=444)
+        _standing_auditor(dep)
+        head_lens = {n: len(node.log) for n, node in dep.nodes.items()}
+        dep.enable_gc(100.0)
+        for _ in range(3):
+            dep.run()
+        # Not yet due: no pass ran, no checkpoint entries were appended.
+        assert dep.gc_meter.gc_passes == 0
+        assert {n: len(node.log) for n, node in dep.nodes.items()} \
+            == head_lens
+        dep.run_until(dep.sim.now + 101.0)
+        assert dep.gc_meter.gc_passes == 1
+
+
+class TestPostGcExecutorEquivalence:
+    def _gcd_net(self, seed=430, overrides=None):
+        dep, nodes = _net(seed=seed, overrides=overrides)
+        qp = _standing_auditor(dep)
+        dep.checkpoint_all()
+        nodes["a"].insert(link("a", "z", 2))
+        dep.run()
+        qp.refresh()
+        dep.run_gc(checkpoint=False)
+        dep.unregister_querier(qp)
+        qp.close()
+        return dep
+
+    def _outcome(self, dep, executor):
+        with QueryProcessor(dep, executor=executor) as qp:
+            result = qp.why(best_cost("c", "d", 5), scope=5)
+            return {
+                "colors": _fingerprint(result),
+                "faulty": result.faulty_nodes(),
+                "counters": qp.mq.stats.counters(),
+                "views": {str(n): v.status for n, v in qp.mq._views.items()},
+                "bases": {str(n): v.base_index
+                          for n, v in qp.mq._views.items()
+                          if v.status == OK},
+            }
+
+    def test_serial_thread_wire_identical_post_gc(self):
+        dep = self._gcd_net()
+        serial = self._outcome(dep, None)
+        assert serial["bases"] and all(b > 1 for b in serial["bases"].values())
+        assert self._outcome(dep, 4) == serial
+        assert self._outcome(dep, "wire") == serial
+
+    def test_wire_identical_with_over_truncator(self):
+        dep = self._gcd_net(seed=431, overrides={"b": OverTruncatingNode})
+        serial = self._outcome(dep, None)
+        assert self._outcome(dep, "wire") == serial
+        assert self._outcome(dep, 2) == serial
+
+    @pytest.mark.slow
+    def test_process_pool_identical_post_gc(self):
+        dep = self._gcd_net(seed=432)
+        serial = self._outcome(dep, None)
+        assert self._outcome(dep, "process:2") == serial

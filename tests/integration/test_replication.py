@@ -13,6 +13,7 @@ import pytest
 from repro.apps.mincost import best_cost, build_paper_network, link
 from repro.snp import Deployment, QueryProcessor
 from repro.snp.adversary import SilentNode, TamperingNode
+from repro.snp.evidence import AUTHENTICATOR_BYTES
 
 
 def _silent_b_network(seed=300, replicate=True):
@@ -67,6 +68,70 @@ class TestReplicationRecovery:
         dep.replicate_logs()
         after = dep.find_mirror("b").head_auth.index
         assert after > before
+
+
+class TestReplicationTraffic:
+    """Replication is real wire traffic: every pushed log segment is
+    charged to the origin under the ``replication`` category (plus one
+    head authenticator per push), so the Figure-5-style overhead story
+    includes what keeping replicas fresh costs."""
+
+    def test_full_replication_charges_exact_bytes(self):
+        dep = Deployment(seed=310, key_bits=256)
+        build_paper_network(dep)
+        dep.run()
+        assert dep.traffic.totals()["replication"] == 0
+        dep.replicate_logs(replication_factor=2)
+        expected = 0
+        for node in dep.nodes.values():
+            segment = sum(e.size_bytes() for e in node.log.entries)
+            expected += 2 * (segment + AUTHENTICATOR_BYTES)
+        assert dep.traffic.totals()["replication"] == expected
+        assert dep.traffic.replication_pushes == 2 * len(dep.nodes)
+
+    def test_delta_replication_charges_only_the_suffix(self):
+        dep = Deployment(seed=311, key_bits=256)
+        nodes = build_paper_network(dep)
+        dep.run()
+        dep.replicate_deltas(replication_factor=2)
+        after_full = dep.traffic.totals()["replication"]
+        assert after_full > 0
+
+        # Quiescent pass ships nothing, so it charges nothing.
+        assert dep.replicate_deltas(replication_factor=2) == 0
+        assert dep.traffic.totals()["replication"] == after_full
+
+        # New activity: the next pass charges the suffixes, not the logs.
+        heads = {name: len(node.log) for name, node in dep.nodes.items()}
+        nodes["a"].insert(link("a", "z", 2))
+        dep.run()
+        pushes = dep.replicate_deltas(replication_factor=2)
+        assert pushes > 0
+        delta = dep.traffic.totals()["replication"] - after_full
+        expected = 0
+        for name, node in dep.nodes.items():
+            suffix = node.log.segment(heads[name] + 1, len(node.log))
+            if suffix:
+                expected += 2 * (
+                    sum(e.size_bytes() for e in suffix)
+                    + AUTHENTICATOR_BYTES
+                )
+        assert delta == expected
+        full_log_bytes = 2 * sum(
+            sum(e.size_bytes() for e in node.log.entries)
+            for node in dep.nodes.values()
+        )
+        assert delta < full_log_bytes / 4
+
+    def test_per_node_attribution(self):
+        dep = Deployment(seed=312, key_bits=256)
+        build_paper_network(dep)
+        dep.run()
+        dep.replicate_logs(replication_factor=1)
+        for name, node in dep.nodes.items():
+            segment = sum(e.size_bytes() for e in node.log.entries)
+            assert dep.traffic.node_totals(name)["replication"] == \
+                segment + AUTHENTICATOR_BYTES
 
 
 class TestReplicationCannotFrame:

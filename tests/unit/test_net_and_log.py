@@ -111,6 +111,81 @@ class TestNodeLog:
         assert log.last_checkpoint_before(1) is None
 
 
+class TestLogTruncation:
+    """Checkpoint GC at the log layer: truncate_below keeps the tombstone
+    anchor so indexes, segments and chain hashes at or above the floor
+    behave exactly as before truncation."""
+
+    def _log_with_checkpoint_at(self, chk_index, total=8):
+        log = NodeLog("n")
+        for i in range(1, chk_index):
+            log.append(float(i), INS, (i,))
+        log.append_checkpoint(float(chk_index), {"seq": {}}, [], [])
+        for i in range(chk_index + 1, total + 1):
+            log.append(float(i), INS, (i,))
+        return log
+
+    def test_truncate_reclaims_bytes_and_keeps_logical_indexes(self):
+        log = self._log_with_checkpoint_at(4)
+        before = log.size_bytes()
+        pre_head = log.head_hash()
+        reclaimed = log.truncate_below(4)
+        assert reclaimed > 0
+        assert log.size_bytes() == before - reclaimed
+        assert log.first_index == 4 and log.truncated
+        assert len(log) == 8                      # head index is logical
+        assert log.entry(4).entry_type == CHK
+        assert log.entry(8).index == 8
+        assert log.head_hash() == pre_head
+        assert log.discarded_entries == 3
+
+    def test_tombstone_anchor_survives(self):
+        log = self._log_with_checkpoint_at(4)
+        anchor = log.hash_before(4)
+        seg_hashes = [e.entry_hash for e in log.segment(4, 8)]
+        log.truncate_below(4)
+        assert log.hash_before(4) == anchor
+        assert [e.entry_hash for e in log.segment(4, 8)] == seg_hashes
+        with pytest.raises(IndexError):
+            log.hash_before(3)
+        with pytest.raises(IndexError):
+            log.entry(3)
+        with pytest.raises(IndexError):
+            log.segment(2, 8)
+
+    def test_append_continues_past_truncation(self):
+        log = self._log_with_checkpoint_at(4)
+        log.truncate_below(4)
+        entry = log.append(9.0, INS, ("post",))
+        assert entry.index == 9
+        assert log.entry(9) is entry
+        # The chain keeps folding from the same head it had before.
+        from repro.crypto.hashing import chain_hash
+        assert entry.entry_hash == chain_hash(
+            log.entry(8).entry_hash, 9.0, INS, entry.content_hash
+        )
+
+    def test_truncate_below_non_checkpoint_rejected(self):
+        log = self._log_with_checkpoint_at(4)
+        with pytest.raises(ValueError, match="checkpoint"):
+            log.truncate_below(5)
+        with pytest.raises(ValueError, match="head"):
+            log.truncate_below(99)
+
+    def test_truncate_at_or_below_base_is_a_noop(self):
+        log = self._log_with_checkpoint_at(4)
+        assert log.truncate_below(1) == 0
+        log.truncate_below(4)
+        assert log.truncate_below(4) == 0
+        assert log.truncate_below(2) == 0
+
+    def test_last_checkpoint_before_respects_truncation(self):
+        log = self._log_with_checkpoint_at(4)
+        log.truncate_below(4)
+        assert log.last_checkpoint_before(8).index == 4
+        assert log.last_checkpoint_before(3) is None
+
+
 class TestAuthenticators:
     def _identity(self, name="n1"):
         ca = CertificateAuthority(key_bits=256, seed=1)
