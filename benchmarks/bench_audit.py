@@ -110,11 +110,17 @@ def bgp_scenario(n_updates, extra_prefixes, seed=7):
     def query(qp):
         return qp.why(target, scope=12)
 
+    # run_further must be repeatable (bench_parallel drives several
+    # waves: refresh, warm-refresh, concurrent); per-wave prefix names
+    # keep every wave inserting genuinely new tuples.
+    wave = [0]
+
     def run_further():
+        wave[0] += 1
         origin_asn = sorted(net.daemons)[-1]
         daemon = net.daemons[origin_asn]
         for k in range(extra_prefixes):
-            fresh = f"audit-prefix-{k}"
+            fresh = f"audit-prefix-{wave[0]}-{k}"
             daemon.originated.add(fresh)
             dep.node(origin_asn).insert(originate(origin_asn, fresh))
         net.converge(max_rounds=10)
@@ -133,11 +139,14 @@ def hadoop_scenario(n_words, seed=7):
     def query(qp):
         return qp.why(target, scope=8)
 
+    wave = [0]
+
     def run_further():
-        job.job_id = "job-audit-2"
+        wave[0] += 1
+        job.job_id = f"job-audit-{wave[0] + 1}"
         extra = ZipfCorpus(n_words=max(80, n_words // 4),
                            vocabulary=max(50, n_words // 20),
-                           seed=seed + 1)
+                           seed=seed + wave[0])
         job.run(extra.splits(len(job.mappers)))
 
     return f"hadoop@{n_words}", dep, query, run_further

@@ -10,7 +10,17 @@ application families, at 1/2/4/8 threads and on 2/4-worker process pools:
   verified view as one executor batch) followed by the scenario's
   macroquery;
 * **refresh** — the deployment runs further, then ``refresh()`` advances
-  every cached view by its log suffix (one delta fetch per node).
+  every cached view by its log suffix (one delta fetch per node);
+* **warm refresh** — transport zeroed and pools pre-warmed, the refresh
+  is timed on the PR 4 blob pool (``process-blob:4``, which re-ships and
+  re-decodes whole replays) against the PR 6 resident pool
+  (``process:4``, which ships verified heads + deltas into
+  worker-resident replays) — the full run enforces the resident arm is
+  ≥2x faster on chord@50 and actually hit its cache
+  (``pickle_bytes_avoided`` > 0);
+* **concurrent** — several queriers share one resident executor; the
+  gate is correctness (every querier ≡ a serial oracle), since
+  head-keyed cache entries make cross-querier reuse miss, not corrupt.
 
 Downloads are modeled with ``Deployment.set_query_transport``: each
 fetched segment sleeps RTT + bytes/bandwidth on the worker thread that
@@ -37,6 +47,7 @@ import argparse
 import json
 import sys
 import time
+from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
@@ -47,11 +58,21 @@ from bench_audit import (  # noqa: E402
 )
 
 from repro.snp import QueryProcessor  # noqa: E402
+from repro.snp.executor import ProcessExecutor  # noqa: E402
 
 OUT_PATH = Path(__file__).parent / "BENCH_parallel.json"
 
-ARMS = (1, 2, 4, 8, "process:2", "process:4")
+ARMS = (1, 2, 4, 8, "process:2", "process:4", "process-blob:4")
 BASE_ARM = ARMS[0]
+
+#: The warm-refresh phase isolates the PR 6 resident cache: transport is
+#: zeroed and pools/caches pre-warmed, so the timed refresh measures
+#: verify+replay+*serialization* only — the resident arm ships heads and
+#: deltas where the blob arm re-ships (and re-decodes) whole replays.
+WARM_ARMS = (1, "process-blob:4", "process:4")
+RESIDENT_FIELDS = ("view_cache_hits", "view_cache_misses",
+                   "view_cache_evictions", "shm_bytes",
+                   "pickle_bytes_avoided")
 
 # The paper's assumed 10 Mbps query download link; the RTT places the
 # auditor across a WAN (full) or a regional link (smoke — CI machines
@@ -145,6 +166,115 @@ def run_scenario(name, dep, query, run_further, rtt_seconds):
     return entry
 
 
+def run_warm_refresh(name, dep, query, run_further):
+    """Warm-pool refresh: spawn cost, transport and cold builds all
+    excluded from the timer. Each arm pre-builds every view (populating
+    the resident arm's worker caches), the deployment runs one more
+    wave, and only the refresh+requery is timed."""
+    dep.set_query_transport(rtt_seconds=0.0,
+                            bandwidth_bytes_per_s=1e12)
+    processors = {}
+    for arm in WARM_ARMS:
+        qp = QueryProcessor(dep, executor=arm)
+        qp.prefetch()
+        query(qp)
+        processors[arm] = qp
+
+    run_further()
+
+    refresh = {}
+    walls = {}
+    prints = {}
+    for arm in WARM_ARMS:
+        qp = processors[arm]
+        before = qp.mq.stats.copy()
+        started = time.perf_counter()
+        qp.refresh()
+        result = query(qp)
+        wall = time.perf_counter() - started
+        delta = qp.mq.stats.delta_since(before)
+        walls[arm] = wall
+        prints[arm] = _fingerprint(result)
+        refresh[str(arm)] = {
+            "wall_seconds": round(wall, 4),
+            "counters": delta.counters(),
+            "resident": {f: getattr(delta, f) for f in RESIDENT_FIELDS},
+        }
+        qp.close()
+
+    results_match = all(
+        prints[a] == prints[WARM_ARMS[0]]
+        and refresh[str(a)]["counters"]
+        == refresh[str(WARM_ARMS[0])]["counters"]
+        for a in WARM_ARMS
+    )
+    resident_speedup = (
+        walls["process-blob:4"] / walls["process:4"]
+        if walls["process:4"] > 0 else float("inf")
+    )
+    entry = {
+        "refresh": refresh,
+        "resident_speedup": round(resident_speedup, 3),
+        "results_match": results_match,
+    }
+    resident = refresh["process:4"]["resident"]
+    print(f"{name:>14}  warm refresh {walls['process-blob:4']:6.3f}s blob → "
+          f"{walls['process:4']:6.3f}s resident "
+          f"({entry['resident_speedup']}x)   "
+          f"hits={resident['view_cache_hits']} "
+          f"avoided={resident['pickle_bytes_avoided']}B   "
+          f"match={results_match}")
+    return entry
+
+
+def run_concurrent(name, dep, query, run_further, n_queriers=3):
+    """Concurrent queriers sharing one resident executor: the worker
+    caches are keyed by verified head, so queriers at different heads
+    miss (and rebuild cold) rather than read stale state — correctness
+    is the gate here, walls are reported for context."""
+    dep.set_query_transport(rtt_seconds=0.0,
+                            bandwidth_bytes_per_s=1e12)
+    executor = ProcessExecutor(2)
+    queriers = [QueryProcessor(dep, executor=executor)
+                for _ in range(n_queriers)]
+    serial = QueryProcessor(dep)
+    try:
+        for qp in queriers:
+            qp.prefetch()
+        run_further()
+
+        def refresh_and_query(qp):
+            qp.refresh()
+            return _fingerprint(query(qp))
+
+        started = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=n_queriers,
+                                thread_name_prefix="querier") as pool:
+            prints = list(pool.map(refresh_and_query, queriers))
+        wall = time.perf_counter() - started
+        serial.prefetch()
+        oracle = _fingerprint(query(serial))
+        results_match = all(p == oracle for p in prints)
+        hits = sum(qp.mq.stats.view_cache_hits for qp in queriers)
+        misses = sum(qp.mq.stats.view_cache_misses for qp in queriers)
+        entry = {
+            "queriers": n_queriers,
+            "wall_seconds": round(wall, 4),
+            "view_cache_hits": hits,
+            "view_cache_misses": misses,
+            "results_match": results_match,
+        }
+        print(f"{name:>14}  {n_queriers} concurrent queriers "
+              f"{wall:6.3f}s   hits={hits} misses={misses}   "
+              f"match={results_match}")
+        return entry
+    finally:
+        for qp in queriers:
+            qp.close()
+        serial.close()
+        executor.close()
+
+
 def check(name, entry, require_2x_cold=False, require_process_beats_threads=False):
     # Explicit raises, not asserts: this is CI's acceptance gate and must
     # survive `python -O`.
@@ -167,6 +297,39 @@ def check(name, entry, require_2x_cold=False, require_process_beats_threads=Fals
                 f"not beat the 4-thread arm ({thread_wall:.2f}s) — the "
                 "GIL floor is supposed to be broken"
             )
+
+
+def check_warm(name, entry, require_2x_resident=False):
+    if not entry["results_match"]:
+        raise SystemExit(
+            f"{name}: warm-refresh arms disagree on query results or "
+            "merged counters (serial ≠ resident is a hard failure)"
+        )
+    resident = entry["refresh"]["process:4"]["resident"]
+    if resident["view_cache_hits"] <= 0:
+        raise SystemExit(
+            f"{name}: the resident arm's warm refresh never hit its "
+            "worker view cache"
+        )
+    if resident["pickle_bytes_avoided"] <= 0:
+        raise SystemExit(
+            f"{name}: cache-hit refreshes avoided no pickle bytes — the "
+            "resident plane is shipping blobs it should keep put"
+        )
+    if require_2x_resident and entry["resident_speedup"] < 2.0:
+        raise SystemExit(
+            f"{name}: resident warm refresh is only "
+            f"{entry['resident_speedup']}x over the blob pool, below the "
+            "2x target"
+        )
+
+
+def check_concurrent(name, entry):
+    if not entry["results_match"]:
+        raise SystemExit(
+            f"{name}: a concurrent querier diverged from the serial "
+            "oracle"
+        )
 
 
 def main(argv=None):
@@ -198,6 +361,12 @@ def main(argv=None):
         check(name, entry,
               require_2x_cold=(not args.smoke and is_chord),
               require_process_beats_threads=(not args.smoke and is_chord))
+        entry["warm_refresh"] = run_warm_refresh(name, dep, query,
+                                                 run_further)
+        check_warm(name, entry["warm_refresh"],
+                   require_2x_resident=(not args.smoke and is_chord))
+        entry["concurrent"] = run_concurrent(name, dep, query, run_further)
+        check_concurrent(name, entry["concurrent"])
         scenarios[name] = entry
 
     payload = {

@@ -11,7 +11,11 @@ committed baselines in ``benchmarks/baselines/`` and fails the job when
   not silently retire a gate);
 * ``bench_parallel`` reports any serial ≠ parallel mismatch
   (``results_match: false``) — this one is checked on the *current*
-  output alone and tolerates nothing.
+  output alone and tolerates nothing. The same zero tolerance covers
+  the warm-refresh and concurrent-querier phases: a serial ≠ resident
+  divergence, a warm refresh that never hits the resident view cache
+  (or rebuilds entries cold), or a missing warm/resident arm all fail
+  the gate outright.
 
 Only machine-portable metrics are tracked: deterministic counters (log
 bytes, events replayed, signatures verified) and within-run ratios
@@ -76,6 +80,13 @@ def audit_metrics(payload):
     return out
 
 
+# Below this much blob-arm wall time, the warm-refresh resident-vs-blob
+# speedup is scheduler noise (smoke refreshes run in tens of
+# milliseconds); the deterministic resident counters below still gate
+# the cache's behaviour at every size.
+WARM_MIN_BLOB_SECONDS = 0.1
+
+
 def parallel_metrics(payload):
     """Parallel speedups and the serial build's deterministic costs.
 
@@ -85,6 +96,11 @@ def parallel_metrics(payload):
     compute whose share grows on slower runners — it is reported in the
     JSON but covered here through the deterministic counters and
     ``results_match`` instead.
+
+    The warm-refresh phase contributes the resident cache's
+    deterministic counters (cache hits, pickle bytes the resident plane
+    avoided shipping) and — when the blob arm ran long enough to be
+    signal — the within-run resident-vs-blob speedup.
     """
     out = {}
     for name, entry in payload.get("scenarios", {}).items():
@@ -97,6 +113,24 @@ def parallel_metrics(payload):
             if field in serial:
                 out[f"{name}.cold.{field}"] = (serial[field],
                                                LOWER_IS_BETTER)
+        warm = entry.get("warm_refresh", {})
+        blob_wall = min(
+            (arm["wall_seconds"]
+             for key, arm in warm.get("refresh", {}).items()
+             if str(key).startswith("process-blob:")),
+            default=0.0,
+        )
+        if blob_wall >= WARM_MIN_BLOB_SECONDS:
+            out[f"{name}.warm.resident_speedup"] = (
+                warm["resident_speedup"], HIGHER_IS_BETTER)
+        for key, arm in warm.get("refresh", {}).items():
+            if not str(key).startswith("process:"):
+                continue
+            resident = arm.get("resident", {})
+            for field in ("view_cache_hits", "pickle_bytes_avoided"):
+                if field in resident:
+                    out[f"{name}.warm.{field}"] = (resident[field],
+                                                   HIGHER_IS_BETTER)
     return out
 
 
@@ -120,6 +154,47 @@ def parallel_hard_checks(payload):
             failures.append(
                 f"{name}: bench output has no process arm (the "
                 "serial ≡ process gate would be vacuous)"
+            )
+        warm = entry.get("warm_refresh")
+        if warm is None:
+            failures.append(
+                f"{name}: bench output has no warm_refresh phase (the "
+                "serial ≡ resident gate would be vacuous)"
+            )
+        else:
+            if not warm.get("results_match", False):
+                failures.append(
+                    f"{name}: serial and resident warm refreshes "
+                    "disagree (warm_refresh.results_match is false)"
+                )
+            resident_arms = [
+                arm for key, arm in warm.get("refresh", {}).items()
+                if str(key).startswith("process:")
+            ]
+            if not resident_arms:
+                failures.append(
+                    f"{name}: warm_refresh ran without a resident "
+                    "process arm"
+                )
+            for arm in resident_arms:
+                resident = arm.get("resident", {})
+                if resident.get("view_cache_hits", 0) <= 0:
+                    failures.append(
+                        f"{name}: resident warm refresh never hit the "
+                        "view cache"
+                    )
+                if resident.get("view_cache_misses", 0) > 0:
+                    failures.append(
+                        f"{name}: resident warm refresh rebuilt "
+                        f"{resident['view_cache_misses']} views cold "
+                        "(cache entries were lost between refreshes)"
+                    )
+        concurrent = entry.get("concurrent")
+        if concurrent is not None and not concurrent.get("results_match",
+                                                         False):
+            failures.append(
+                f"{name}: concurrent queriers diverged from the serial "
+                "oracle (concurrent.results_match is false)"
             )
     return failures
 

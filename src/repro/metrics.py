@@ -261,6 +261,17 @@ class QueryStats:
     #: Fields measuring elapsed wall-clock rather than deterministic work.
     TIMING_FIELDS = ("auth_check_seconds", "replay_seconds")
 
+    #: Fields that depend on *which* executor ran the builds (worker-
+    #: resident cache traffic, shared-memory transport accounting). They
+    #: are deterministic for a fixed executor but legitimately differ
+    #: between, say, a serial build (no cache, no shm) and a resident
+    #: process pool — so, like the timing fields, they are excluded from
+    #: the serial ≡ parallel equivalence projection in :meth:`counters`.
+    EXECUTOR_FIELDS = (
+        "view_cache_hits", "view_cache_misses", "view_cache_evictions",
+        "shm_bytes", "pickle_bytes_avoided",
+    )
+
     def __init__(self):
         self.log_bytes = 0
         self.authenticator_bytes = 0
@@ -283,6 +294,26 @@ class QueryStats:
         # registry drains them instead of waiting forever).
         self.auth_checks_tombstoned = 0
         self.microqueries = 0
+        # Anchoring-segment fetches: targeted retrievals issued solely to
+        # check pending skipped authenticators against a wider chain
+        # segment (instead of waiting for a later full build).
+        self.anchor_fetches = 0
+        # Querier-side memory bound: checked-authenticator memo entries
+        # and evidence-store authenticators evicted because they fall
+        # strictly below a head already verified against the node's chain.
+        self.evidence_pruned = 0
+        # --- executor-dependent fields (see EXECUTOR_FIELDS) ---
+        # Worker-resident view cache traffic: a hit extends a replay that
+        # never left its worker; a miss (evicted entry, died worker, or a
+        # head the worker does not hold) falls back to a cold build.
+        self.view_cache_hits = 0
+        self.view_cache_misses = 0
+        self.view_cache_evictions = 0
+        # Bytes moved through shared-memory buffers instead of the pool's
+        # pickle pipe, and replay-blob bytes never (re-)pickled at all
+        # because the view stayed worker-resident.
+        self.shm_bytes = 0
+        self.pickle_bytes_avoided = 0
 
     def downloaded_bytes(self):
         return self.log_bytes + self.authenticator_bytes + self.checkpoint_bytes
@@ -330,11 +361,13 @@ class QueryStats:
         return total
 
     def counters(self):
-        """The deterministic (non-timing) fields, as a dict — the
-        projection over which parallel ≡ serial equivalence holds."""
+        """The deterministic (non-timing, executor-independent) fields,
+        as a dict — the projection over which parallel ≡ serial
+        equivalence holds."""
         return {
             field: value for field, value in vars(self).items()
             if field not in self.TIMING_FIELDS
+            and field not in self.EXECUTOR_FIELDS
         }
 
     def as_dict(self):

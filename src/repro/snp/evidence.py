@@ -135,6 +135,31 @@ class EvidenceStore:
             return None
         return max(candidates, key=lambda a: a.index)
 
+    def prune_checked_below(self, node, head_index, checked_sigs):
+        """Evict *node*'s authenticators already verified against its
+        trusted chain below *head_index* (the bounded-querier satellite:
+        see ``MicroQuerier.compact_evidence``). Only entries whose
+        signature appears in *checked_sigs* are dropped — unverified
+        evidence is never discarded, whatever its index. Returns the
+        dropped entries (duplicates included: every copy of a pruned
+        signature goes at once)."""
+        held = self._by_node.get(node)
+        if not held:
+            return []
+        kept, dropped = [], []
+        for auth in held:
+            if auth.index < head_index \
+                    and bytes(auth.signature) in checked_sigs:
+                dropped.append(auth)
+            else:
+                kept.append(auth)
+        if dropped:
+            if kept:
+                self._by_node[node] = kept
+            else:
+                del self._by_node[node]
+        return dropped
+
     def nodes(self):
         return list(self._by_node)
 

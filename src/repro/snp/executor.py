@@ -1,5 +1,5 @@
 """Executors for per-node view-build work (see DESIGN.md, "Parallel view
-builds" and "Process-pool builds").
+builds", "Process-pool builds" and "Shared view plane").
 
 The microquery module splits a view build into a *fetch* step (touches the
 deployment; coordinator side), a *verify+replay* compute step (a pure
@@ -11,10 +11,17 @@ only decides how the per-node fetch+compute pipelines are scheduled:
   given. The default; also the fallback for ``workers <= 1``.
 * :class:`ThreadedExecutor` — runs tasks on a persistent thread pool.
   Downloads overlap; compute still serializes under the GIL.
-* :class:`ProcessExecutor` — fetches on coordination threads, ships each
-  work item's wire form to a warm spawn-based process pool for the
-  compute step, and decodes the compact outcome. Replay and RSA
-  verification run truly in parallel.
+* :class:`ProcessExecutor` — the *resident* process pool: one
+  single-worker slot per worker, each node affinity-hashed to the slot
+  that owns its view. Workers keep replays resident between batches, so a
+  refresh ships only the verified head plus the log/evidence delta; bulk
+  payloads cross through ``multiprocessing.shared_memory``. A dead worker
+  or evicted entry degrades to a cold build — bit-identical by
+  construction.
+* :class:`ProcessBlobExecutor` — the original blob-shipping process pool:
+  every build ships its full work item (base replays included) and gets
+  the re-pickled replay back. Kept as the resident plane's benchmark
+  baseline and equivalence witness.
 * :class:`WireCheckExecutor` — serial, but forces context, work and
   outcome through their wire representations: the serialization contract
   exercised without paying process spawn (a test/debug aid).
@@ -25,15 +32,22 @@ therefore every observable query result and counter) is identical across
 executors by construction.
 
 ``make_executor`` turns the user-facing spec (``None``, an int worker
-count, ``"serial"``, ``"thread:4"``, ``"process:4"``, ``"wire"``, or an
-executor instance) into an executor object.
+count, ``"serial"``, ``"thread:4"``, ``"process:4"``,
+``"process-blob:4"``, ``"wire"``, or an executor instance) into an
+executor object.
 """
 
+import hashlib
 import multiprocessing
 import os
+import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 
-from repro.snp.wire import init_worker_process, warm_worker
+from repro.snp.wire import (
+    ResidentViewLost, ShmArena, collect_result, compute_build_resident_wire,
+    init_worker_process, resident_op_wire, ship_payload, warm_worker,
+)
 
 #: Ceiling for auto-sized pools ("process"/"thread" specs with no
 #: explicit N): view builds stop scaling well past this on one querier,
@@ -98,14 +112,269 @@ class ThreadedExecutor:
         return f"ThreadedExecutor(workers={self.workers})"
 
 
-class ProcessExecutor:
-    """Back the compute step of view builds with worker *processes*.
+class _Submission:
+    """One in-flight resident build: the slot's future plus the arena
+    segment to release once the worker has consumed it."""
 
-    Per build job, a coordination thread runs the fetch step (so the
-    transport-sleep download model still overlaps across jobs exactly as
-    the threaded executor's does), encodes the work item, submits it to
-    the process pool, and decodes the compact outcome — see
-    :meth:`_BuildJob.run_remote <repro.snp.microquery._BuildJob>`.
+    __slots__ = ("future", "slot", "shm_name", "shm_bytes")
+
+    def __init__(self, future, slot, shm_name, shm_bytes):
+        self.future = future
+        self.slot = slot
+        self.shm_name = shm_name
+        self.shm_bytes = shm_bytes
+
+
+class ProcessExecutor:
+    """The resident view plane: workers *own* views (see DESIGN.md,
+    "Shared view plane").
+
+    ``workers`` single-process slots are spawned (warm, spawn start
+    method, fork-safety as before); every node is affinity-hashed to one
+    slot, so the worker that builds a node's view is always the worker
+    later asked to extend or query it. The worker parks each ``ok``
+    replay in its resident cache keyed by the verified head, which lets
+
+    * ``refresh()`` ship only the head reference + log/evidence delta
+      (the base replay never crosses the boundary again), and
+    * ``resolve()``/microqueries run graph reads *in the owning worker*
+      (:meth:`resident_op`), returning cloned value vertices instead of
+      decoding whole graphs on the coordinator's GIL.
+
+    Bulk payloads still crossing the boundary ride a ref-counted
+    shared-memory arena. Any lost state — dead worker, LRU-evicted entry,
+    head mismatch — surfaces as
+    :class:`~repro.snp.wire.ResidentViewLost`/``cache-miss`` and degrades
+    to a cold build, which is bit-identical by construction.
+
+    *resident_cap* bounds each worker's cache (LRU entries; None =
+    unbounded) — mainly a test/ops knob to force the eviction path.
+    """
+
+    def __init__(self, workers, resident_cap=None):
+        if workers < 1:
+            raise ValueError(f"worker count must be >= 1, got {workers}")
+        self.workers = workers
+        self.resident_cap = resident_cap
+        self.arena = ShmArena()
+        self._slots = None
+        self._coordinator = None
+        self._context_wire = None
+        self._lock = threading.Lock()
+
+    # ----------------------------------------------------------- lifecycle
+
+    @property
+    def alive(self):
+        """Whether the slot pools exist (prepared and not closed)."""
+        return self._slots is not None
+
+    def _spawn_slot(self):
+        mp_context = multiprocessing.get_context("spawn")
+        return ProcessPoolExecutor(
+            max_workers=1, mp_context=mp_context,
+            initializer=init_worker_process,
+            initargs=(self._context_wire, True, self.resident_cap),
+        )
+
+    def prepare(self, context):
+        """Create (or re-create) and warm the slot pools for *context*."""
+        wire = context.to_wire()
+        with self._lock:
+            if self._slots is not None:
+                if wire == self._context_wire:
+                    return
+                for pool in self._slots:
+                    if pool is not None:
+                        pool.shutdown(wait=True)
+                self._slots = None
+            self._context_wire = wire
+            self._slots = [self._spawn_slot() for _ in range(self.workers)]
+            # One slow-ish no-op per slot so all of them spawn (and run
+            # their initializer) now, concurrently — not inside the first
+            # timed batch.
+            warms = [pool.submit(warm_worker, 0.05) for pool in self._slots]
+        for future in warms:
+            future.result()
+
+    def close(self):
+        if self._coordinator is not None:
+            self._coordinator.shutdown(wait=True)
+            self._coordinator = None
+        with self._lock:
+            slots, self._slots = self._slots, None
+            self._context_wire = None
+        if slots is not None:
+            for pool in slots:
+                if pool is not None:
+                    pool.shutdown(wait=True)
+        self.arena.close()
+
+    # ------------------------------------------------------------ affinity
+
+    def slot_of(self, node):
+        """The slot owning *node*'s view — a stable content hash of the
+        node id, so ownership survives pool restarts and is identical
+        across coordinator processes."""
+        digest = hashlib.blake2s(repr(node).encode("utf-8"),
+                                 digest_size=4).digest()
+        return int.from_bytes(digest, "big") % self.workers
+
+    def _slot_pool(self, slot):
+        with self._lock:
+            if self._slots is None:
+                raise ResidentViewLost("executor is closed")
+            pool = self._slots[slot]
+            if pool is None:
+                # Respawn a previously-broken slot; its resident cache is
+                # gone, so builds routed here answer cache-miss until the
+                # fallback rebuilds repopulate it.
+                pool = self._slots[slot] = self._spawn_slot()
+            return pool
+
+    def _break_slot(self, slot):
+        with self._lock:
+            if self._slots is None:
+                return
+            pool = self._slots[slot]
+            self._slots[slot] = None
+        if pool is not None:
+            try:
+                pool.shutdown(wait=False)
+            except Exception:
+                pass
+
+    # ------------------------------------------------------------- builds
+
+    def submit_build(self, node, work_wire, _retry=True):
+        """Ship one work item's pre-pickled wire form to *node*'s slot.
+
+        Bulk payloads go through the shm arena; the pipe carries the
+        segment name. Returns a :class:`_Submission` for
+        :meth:`collect_build`.
+        """
+        import pickle
+        data = pickle.dumps(work_wire)
+        payload, shm_name, shm_bytes = ship_payload(data, self.arena)
+        slot = self.slot_of(node)
+        try:
+            future = self._slot_pool(slot).submit(
+                compute_build_resident_wire, payload
+            )
+        except (BrokenProcessPool, RuntimeError):
+            if shm_name is not None:
+                self.arena.release(shm_name)
+            self._break_slot(slot)
+            if _retry:
+                # One respawn attempt: the fresh worker holds no resident
+                # state, so a head-referencing work item answers
+                # cache-miss and the job's fallback takes over.
+                return self.submit_build(node, work_wire, _retry=False)
+            raise ResidentViewLost(f"worker slot {slot} is down")
+        return _Submission(future, slot, shm_name, shm_bytes)
+
+    def collect_build(self, submission):
+        """Wait for a submission; returns ``(outcome_wire, shm_bytes)``.
+
+        Raises :class:`ResidentViewLost` when the owning worker died —
+        the caller falls back to a cold build."""
+        try:
+            shipped = submission.future.result()
+        except (BrokenProcessPool, RuntimeError) as exc:
+            self._break_slot(submission.slot)
+            raise ResidentViewLost(
+                f"worker slot {submission.slot} died: {exc}"
+            )
+        finally:
+            if submission.shm_name is not None:
+                self.arena.release(submission.shm_name)
+        data, out_shm = collect_result(shipped)
+        import pickle
+        return pickle.loads(data), submission.shm_bytes + out_shm
+
+    def run_jobs(self, jobs, context):
+        """Run build jobs; outcomes in submission order.
+
+        Fetch threads retrieve segments (overlapping their transport
+        sleeps) and submit each work item to its owning slot without
+        waiting; outcomes are collected — and therefore finalized — in
+        submission order. Collection handles the fallback ladder (worker
+        death, cache miss) per job.
+        """
+        if not jobs:
+            return []
+        self.prepare(context)
+        if len(jobs) == 1:
+            submissions = [jobs[0].submit_resident(self)]
+        else:
+            if self._coordinator is None:
+                # Fetch threads only sleep on the transport model and run
+                # light bookkeeping — compute lives in the worker
+                # processes — so their count is not tied to the worker
+                # count: double it and downloads overlap deeper than the
+                # threaded executor (whose threads must also compute)
+                # could ever afford.
+                self._coordinator = ThreadPoolExecutor(
+                    max_workers=2 * self.workers,
+                    thread_name_prefix="view-fetch",
+                )
+            submissions = list(self._coordinator.map(
+                lambda job: job.submit_resident(self), jobs
+            ))
+        return [job.collect_resident(self, submission)
+                for job, submission in zip(jobs, submissions)]
+
+    # ------------------------------------------------------- resident ops
+
+    def resident_op(self, node, head_index, head_hash, op, payload=None,
+                    stats=None):
+        """Run a read against the resident view *node*'s slot holds at
+        ``(head_index, head_hash)``. Raises :class:`ResidentViewLost`
+        when the entry (or the worker) is gone."""
+        slot = self.slot_of(node)
+        try:
+            result = self._slot_pool(slot).submit(
+                resident_op_wire, (node, head_index, head_hash, op, payload)
+            ).result()
+        except (BrokenProcessPool, RuntimeError) as exc:
+            self._break_slot(slot)
+            raise ResidentViewLost(f"worker slot {slot} died: {exc}")
+        tag = result[0]
+        if tag == "W.lost":
+            raise ResidentViewLost(
+                f"resident view for {node!r} at entry {head_index} is gone"
+            )
+        if tag == "W.opres":
+            return result[1]
+        data, shm = collect_result(result)  # a blob pull
+        if stats is not None and shm:
+            stats.shm_bytes += shm
+        return data
+
+    def evict_resident(self, node):
+        """Drop *node*'s resident entry (explicit invalidation: forks, GC
+        floors, ``invalidate()``). Best-effort — a dead worker already
+        lost it. Returns whether an entry was actually dropped."""
+        if self._slots is None:
+            return False
+        try:
+            return bool(self.resident_op(node, 0, None, "evict"))
+        except ResidentViewLost:
+            return False
+
+    def __repr__(self):
+        return f"ProcessExecutor(workers={self.workers})"
+
+
+class ProcessBlobExecutor:
+    """The blob-shipping process pool (the pre-resident design).
+
+    Per build job, a coordination thread runs the fetch step, encodes the
+    *entire* work item — base replays included — submits it to a shared
+    process pool, and decodes the compact outcome, whose replay comes
+    back as a re-pickled blob. Kept as the resident plane's baseline
+    (``BENCH_parallel`` measures resident wins against it) and as an
+    equivalence witness.
 
     The pool uses the *spawn* start method (fork-safety: the coordinator
     holds live locks and thread pools) and is warmed by
@@ -123,6 +392,10 @@ class ProcessExecutor:
         self._pool = None
         self._coordinator = None
         self._context_wire = None
+
+    @property
+    def alive(self):
+        return self._pool is not None
 
     def prepare(self, context):
         """Create (or re-create) and warm the process pool for *context*."""
@@ -159,12 +432,6 @@ class ProcessExecutor:
             submissions = [jobs[0].submit_remote(pool)]
         else:
             if self._coordinator is None:
-                # Fetch threads only sleep on the transport model and run
-                # light bookkeeping — compute lives in the worker
-                # processes — so their count is not tied to the worker
-                # count: double it and downloads overlap deeper than the
-                # threaded executor (whose threads must also compute)
-                # could ever afford.
                 self._coordinator = ThreadPoolExecutor(
                     max_workers=2 * self.workers,
                     thread_name_prefix="view-fetch",
@@ -185,7 +452,7 @@ class ProcessExecutor:
             self._context_wire = None
 
     def __repr__(self):
-        return f"ProcessExecutor(workers={self.workers})"
+        return f"ProcessBlobExecutor(workers={self.workers})"
 
 
 class WireCheckExecutor:
@@ -211,9 +478,11 @@ def make_executor(spec=None):
     ``None`` or ``"serial"`` → :class:`SerialExecutor`; an int ``n`` →
     serial for ``n == 1``, ``ThreadedExecutor(n)`` for ``n > 1``
     (``n < 1`` is an error); ``"thread:N"`` → ``ThreadedExecutor(N)``;
-    ``"process:N"`` → ``ProcessExecutor(N)``; bare ``"thread"`` /
-    ``"process"`` → the same pools sized to ``os.cpu_count()`` clamped
-    to :data:`MAX_DEFAULT_WORKERS`; ``"wire"`` →
+    ``"process:N"`` → the resident :class:`ProcessExecutor(N)`;
+    ``"process-blob:N"`` → the blob-shipping
+    :class:`ProcessBlobExecutor(N)`; bare ``"thread"`` / ``"process"`` /
+    ``"process-blob"`` → the same pools sized to ``os.cpu_count()``
+    clamped to :data:`MAX_DEFAULT_WORKERS`; ``"wire"`` →
     :class:`WireCheckExecutor`; an object with a ``run`` or ``run_jobs``
     method passes through unchanged.
     """
@@ -230,8 +499,12 @@ def make_executor(spec=None):
             return make_executor(default_worker_count())
         if spec == "process":
             return ProcessExecutor(default_worker_count())
+        if spec == "process-blob":
+            return ProcessBlobExecutor(default_worker_count())
         if spec.startswith("thread:"):
             return make_executor(int(spec.split(":", 1)[1]))
+        if spec.startswith("process-blob:"):
+            return ProcessBlobExecutor(int(spec.split(":", 1)[1]))
         if spec.startswith("process:"):
             return ProcessExecutor(int(spec.split(":", 1)[1]))
         if spec == "wire":

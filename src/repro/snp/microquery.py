@@ -55,12 +55,15 @@ from repro.metrics import QueryStats
 from repro.snp.evidence import EvidenceStore, AUTHENTICATOR_BYTES
 from repro.snp.executor import make_executor
 from repro.snp.log import RCV, ACK
-from repro.snp.replay import check_against_authenticator
+from repro.snp.replay import (
+    check_against_authenticator, verify_anchor_segment,
+)
 from repro.snp.wire import (
-    BuildContext, BuildWork, CompactOutcome, compute_build, note_checked,
+    BuildContext, BuildWork, CompactOutcome, ResidentReplay,
+    ResidentViewLost, compute_build, note_checked,
 )
 from repro.provgraph.vertices import Color, SEND, RECEIVE
-from repro.util.errors import LogVerificationError
+from repro.util.errors import AuthenticationError, LogVerificationError
 from repro.util.serialization import canonical_size
 
 OK = "ok"
@@ -172,7 +175,7 @@ class _BuildOutcome:
         self.base_view = None
         self.response = None
         self.hashes = None
-        self.checked = set()
+        self.checked = {}
         self.cursor = None
         self.from_mirror = False
         self.replay_result = None
@@ -194,6 +197,11 @@ class _BuildOutcome:
         self.kind = "final"
         self.view = view
         return self
+
+
+#: Sentinel submission: the resident executor lost this job's slot at
+#: submit time (even after a respawn attempt) — collect falls back.
+_LOST = object()
 
 
 class _BuildJob:
@@ -403,7 +411,7 @@ class _BuildJob:
         outcome.evidence_prefix = self.evidence_prefix
         outcome.cursor = self.cursor
         outcome.response = self.response
-        outcome.checked = set(result.checked)
+        outcome.checked = dict(result.checked)
         outcome.recovered = tuple(result.recovered)
         outcome.skipped = tuple(result.skipped)
         outcome.tombstoned = tuple(result.tombstoned)
@@ -476,6 +484,87 @@ class _BuildJob:
             CompactOutcome.from_wire(future.result(), self.factory)
         )
 
+    def submit_resident(self, executor):
+        """Fetch, then ship the work to the node's owning worker slot.
+
+        Like :meth:`submit_remote`, but through the resident executor's
+        affinity routing: an extend crosses as a head reference (plus the
+        fetched delta), never as the base replay. Returns a submission
+        handle, None (finished at fetch), or the ``_LOST`` sentinel when
+        the slot is down.
+        """
+        work = self.fetch()
+        if work is None:
+            return None
+        try:
+            return executor.submit_build(self.node, work.to_wire())
+        except ResidentViewLost:
+            return _LOST
+
+    def collect_resident(self, executor, submission):
+        """Collect a resident build, degrading losses to cold rebuilds.
+
+        A dead worker (``ResidentViewLost``) or a worker that no longer
+        holds the referenced base replay (``cache-miss``) answers with a
+        from-scratch full build — bit-identical verdicts by construction,
+        since a cold build never depends on cached state.
+        """
+        if submission is None:
+            return self.outcome
+        if submission is _LOST:
+            return self._fallback_rebuild(executor)
+        try:
+            wire, shm_bytes = executor.collect_build(submission)
+        except ResidentViewLost:
+            return self._fallback_rebuild(executor)
+        result = CompactOutcome.from_wire(wire, self.factory)
+        result.stats.shm_bytes += shm_bytes
+        if result.status == CompactOutcome.CACHE_MISS:
+            self.stats.merge(result.stats)
+            return self._fallback_rebuild(executor)
+        return self.absorb_resident(executor, result)
+
+    def absorb_resident(self, executor, result):
+        """Absorb a resident outcome: an ``ok`` build whose replay stayed
+        in the worker arrives as a ``resident_head`` and is wrapped in a
+        :class:`~repro.snp.wire.ResidentReplay` handle here (a failed
+        replay still ships its blob — the proven-faulty view keeps it as
+        evidence, exactly like the blob pool)."""
+        if result.status == CompactOutcome.OK \
+                and result.resident_head is not None \
+                and result.replay_result is None:
+            head_index, head_hash = result.resident_head
+            result.replay_result = ResidentReplay(
+                executor, self.node, head_index, head_hash,
+                machine_factory=self.factory, response=self.response,
+            )
+        return self.absorb(result)
+
+    def _fallback_rebuild(self, executor):
+        """Cold full rebuild after the resident plane lost this node's
+        state. Tries the (possibly respawned) owning slot once — the
+        fresh build repopulates its cache — and, if the slot is still
+        down, computes inline as the last resort. The original job's
+        fetch accounting is preserved."""
+        job = _BuildJob(self.mq, self.node)
+        job.stats.merge(self.stats)
+        work = job.fetch()
+        if work is None:
+            return job.outcome
+        try:
+            submission = executor.submit_build(job.node, work.to_wire())
+            wire, shm_bytes = executor.collect_build(submission)
+            result = CompactOutcome.from_wire(wire, job.factory)
+            result.stats.shm_bytes += shm_bytes
+            if result.status != CompactOutcome.CACHE_MISS:
+                return job.absorb_resident(executor, result)
+        except ResidentViewLost:
+            pass
+        # Inline last resort: the cold build runs here, so the miss is
+        # tallied here (worker-run builds count their own).
+        job.stats.view_cache_misses += 1
+        return job.absorb(compute_build(work, self.mq._build_context()))
+
     def run_wire_check(self, context):
         """In-process run that simulates the process boundary exactly:
         context, work and outcome all pass through ``pickle`` of their
@@ -502,11 +591,17 @@ class _BuildJob:
 class MicroQuerier:
     def __init__(self, deployment, use_checkpoints=False,
                  verify_embedded_signatures=True,
-                 run_consistency_check=True, executor=None):
+                 run_consistency_check=True, executor=None,
+                 fetch_pending_anchors=True):
         self.deployment = deployment
         self.use_checkpoints = use_checkpoints
         self.verify_embedded_signatures = verify_embedded_signatures
         self.run_consistency_check = run_consistency_check
+        # When a batch leaves skipped-authenticator debt (evidence below a
+        # partial segment's anchor), fetch the anchoring segment right
+        # away instead of waiting for some later full build to happen by.
+        # Off only for tests that need the pending state to persist.
+        self.fetch_pending_anchors = fetch_pending_anchors
         # Ownership: an executor built here from a spec is closed by
         # close(); an executor *instance* handed in is the caller's to
         # manage (it may be shared across queriers).
@@ -536,6 +631,9 @@ class MicroQuerier:
         # (``auth_checks_recovered``) and survive invalidate() — they are
         # coverage debt, not chain trust.
         self._pending_skipped = {}
+        # Nodes whose pending registry gained entries during the running
+        # batch — the batch-end anchoring fetch's worklist.
+        self._anchor_wanted = set()
         # Per-batch memo of factory → encoded wire spec (reset by
         # _run_batch): nodes sharing one AppFactory ship one snapshot.
         self._batch_spec_cache = {}
@@ -615,13 +713,24 @@ class MicroQuerier:
         when the cached view is trustworthy and the system merely ran
         further)."""
         if node_id is None:
+            for view in self._views.values():
+                self._evict_resident(view)
             self._views.clear()
             self._checked_auths.clear()
             self._consistency_cursors.clear()
         else:
-            self._views.pop(node_id, None)
+            self._evict_resident(self._views.pop(node_id, None))
             self._checked_auths.pop(node_id, None)
             self._consistency_cursors.pop(node_id, None)
+
+    def _evict_resident(self, view):
+        """Explicitly drop a view's worker-resident state (invalidate,
+        fork conviction, a superseding verdict). Best-effort — a dead
+        worker already lost the entry."""
+        replay = view.replay if view is not None else None
+        if isinstance(replay, ResidentReplay):
+            if replay.invalidate():
+                self.stats.view_cache_evictions += 1
 
     def refresh(self, node_id=None):
         """Advance cached views to the deployment's current log heads.
@@ -686,13 +795,26 @@ class MicroQuerier:
         finalized = set()
         try:
             for outcome in self._run_jobs(jobs, context):
-                self._views[outcome.node] = self._finalize(outcome)
+                new_view = self._finalize(outcome)
+                old_view = self._views.get(outcome.node)
+                self._views[outcome.node] = new_view
+                if old_view is not None and new_view is not old_view \
+                        and new_view.status != OK:
+                    # A superseding non-ok verdict (fork conviction,
+                    # retention fault, lost node): the old view's
+                    # worker-resident state must not linger.
+                    self._evict_resident(old_view)
                 finalized.add(outcome.node)
         except BaseException:
             for node_id in node_ids:
                 if node_id not in finalized:
                     self.invalidate(node_id)
             raise
+        if self.fetch_pending_anchors and self._anchor_wanted:
+            for node_id in sorted(self._anchor_wanted, key=str):
+                self._fetch_pending_anchor(node_id)
+            self._anchor_wanted.clear()
+        self.compact_evidence()
 
     def _run_jobs(self, jobs, context):
         """Schedule a batch onto the executor. Rich executors take the
@@ -777,7 +899,7 @@ class MicroQuerier:
             return NodeView(node_id, PROVEN_FAULTY,
                             verdict_reason=str(exc))
         if outcome.checked:
-            self._checked_auths.setdefault(node_id, set()).update(
+            self._checked_auths.setdefault(node_id, {}).update(
                 outcome.checked
             )
         if outcome.cursor is not None:
@@ -840,6 +962,105 @@ class MicroQuerier:
                 if sig in known or sig in outcome.checked:
                     continue
                 table.setdefault(sig, auth)
+            if table:
+                self._anchor_wanted.add(node_id)
+
+    def _fetch_pending_anchor(self, node_id):
+        """On-demand anchoring fetch (batch end): a pending skip means
+        evidence fell below the last segment's anchor, so its check is
+        owed until some build happens to reach far enough back. Instead
+        of waiting, ask the node for its untruncated log right now and
+        check the owed authenticators against it.
+
+        The anchoring segment is verified before it is trusted: its head
+        authenticator must be validly signed and on the recomputed
+        chain, and the chain must pass through the verified head of the
+        node's audited view — so a node cannot satisfy the owed checks
+        from a fork of the log it is being audited on (that mismatch is
+        itself a conviction). A GC'd node legitimately anchors at its
+        retained checkpoint; whatever still falls below stays pending
+        (or is tombstoned by the normal floor machinery later).
+        """
+        pending = self._pending_skipped.get(node_id)
+        if not pending:
+            return
+        node = self.deployment.nodes.get(node_id)
+        if node is None:
+            return  # unreachable: the debt stays pending
+        response = node.retrieve(from_checkpoint=False)
+        if response is None:
+            return
+        self.stats.anchor_fetches += 1
+        self._simulate_transfer(response)
+        self._account_response(response, self.stats)
+        view = self._views.get(node_id)
+        trusted = None
+        if view is not None and view.status == OK and view.head_index > 0:
+            trusted = (view.head_index, view.head_hash)
+        try:
+            hashes = verify_anchor_segment(
+                response, self.deployment.public_key_of(node_id),
+                trusted_head=trusted, stats=self.stats,
+            )
+            memo = self._checked_auths.setdefault(node_id, {})
+            for sig, auth in sorted(pending.items()):
+                if auth.index < response.start_index - 1:
+                    continue  # below even this anchor: stays pending
+                check_against_authenticator(response, hashes, auth,
+                                            self.stats)
+                self.stats.auth_checks_recovered += 1
+                memo[sig] = auth.index
+                del pending[sig]
+        except (LogVerificationError, AuthenticationError) as exc:
+            # The owed evidence (or the audited head) contradicts the
+            # chain the node just served — proof of a fork or rewrite.
+            self._evict_resident(self._views.get(node_id))
+            self._views[node_id] = NodeView(
+                node_id, PROVEN_FAULTY,
+                verdict_reason=f"pending authenticator check: {exc}",
+            )
+            return
+        finally:
+            if not pending:
+                self._pending_skipped.pop(node_id, None)
+
+    def compact_evidence(self):
+        """Bound the querier's standing memory (batch end).
+
+        An authenticator already verified to lie on a node's trusted
+        chain *below* that view's verified head can never change any
+        future verdict: a refresh extends the same chain (the memo
+        already suppresses its re-check), and a full rebuild re-fetches
+        from scratch and drops the memo anyway. Evict such entries from
+        the evidence store, and from the checked-authenticator memo *in
+        lockstep with the store drop* — a memo entry whose evidence has
+        not surfaced in the store yet is still load-bearing (a peer's log
+        harvested later re-presents the same signed authenticator, and
+        the memo is what keeps that from re-skipping), so it stays until
+        its copies arrive and are pruned with it. The consistency cursors
+        guarantee peers never re-present pruned evidence through the
+        consistency channel. ``evidence_pruned`` counts both ledgers'
+        drops.
+        """
+        for node_id, view in self._views.items():
+            if view.status != OK or view.head_index <= 0:
+                continue
+            checked = self._checked_auths.get(node_id)
+            if not checked:
+                continue
+            below = {sig for sig, index in checked.items()
+                     if index < view.head_index}
+            if not below:
+                continue
+            dropped = self.evidence.prune_checked_below(
+                node_id, view.head_index, below
+            )
+            if not dropped:
+                continue
+            pruned_sigs = {bytes(auth.signature) for auth in dropped}
+            for sig in pruned_sigs:
+                checked.pop(sig, None)
+            self.stats.evidence_pruned += len(dropped) + len(pruned_sigs)
 
     def low_water_marks(self):
         """The standing-auditor half of the retention handshake: per
@@ -900,6 +1121,67 @@ class MicroQuerier:
                     self.evidence.add(wire_ack.auth)
         self.evidence.add(response.head_auth)
 
+    # ------------------------------------------------- view reads (ops)
+
+    def _view_op(self, view, op, payload=None):
+        """Run one read-only graph op against *view*.
+
+        A view backed by an unmaterialized :class:`ResidentReplay` runs
+        the op *in the owning worker* — the coordinator receives cloned
+        value vertices and never decodes the graph. Every other view
+        (serial/thread builds, materialized handles, failed-replay
+        evidence) answers from the in-process graph; both paths return
+        clones-or-members with identical keys and colors, so callers
+        cannot tell them apart. A lost resident view (dead worker,
+        evicted entry) is rebuilt cold — bit-identically — and the op
+        retried.
+        """
+        for _attempt in (0, 1):
+            replay = view.replay
+            if isinstance(replay, ResidentReplay) \
+                    and not replay.materialized:
+                try:
+                    return replay.query(op, payload, stats=self.stats)
+                except ResidentViewLost:
+                    # The cold rebuild tallies the miss itself.
+                    self._rebuild_lost_view(view)
+                    continue
+            break
+        return self._local_view_op(view, op, payload)
+
+    def _local_view_op(self, view, op, payload):
+        graph = view.graph
+        if op == "get":
+            return graph.get(payload)
+        if op == "around":
+            vertex = graph.get(payload)
+            if vertex is None:
+                return None
+            return (vertex, graph.predecessors(vertex),
+                    graph.successors(vertex))
+        if op == "find_all":
+            vtype, node, tup = payload
+            return graph.find_all(vtype=vtype, node=node, tup=tup)
+        raise ValueError(f"unknown view op {op!r}")
+
+    def view_find_all(self, view, vtype=None, node=None, tup=None):
+        """Find matching vertices in *view*'s graph (resident-aware: the
+        scan runs in the owning worker when the view lives there)."""
+        return self._view_op(view, "find_all", (vtype, node, tup))
+
+    def _rebuild_lost_view(self, view):
+        """The resident plane lost *view*'s worker-side state: rebuild it
+        from scratch (the standard executor path — the fresh build
+        repopulates the owning worker) and splice the new state into the
+        existing view object, so callers holding it see the rebuild."""
+        node_id = view.node
+        self.invalidate(node_id)
+        rebuilt = self.view_of(node_id)
+        if rebuilt is not view:
+            for slot in NodeView.__slots__:
+                setattr(view, slot, getattr(rebuilt, slot))
+            self._views[node_id] = view
+
     # ---------------------------------------------------------- microquery
 
     def microquery(self, vertex):
@@ -912,9 +1194,10 @@ class MicroQuerier:
         resolved, color = self.resolve(vertex)
         view = self._views.get(resolved.node)
         preds, succs = [], []
-        if view is not None and view.status == OK and resolved.key() in view.graph:
-            preds = view.graph.predecessors(resolved)
-            succs = view.graph.successors(resolved)
+        if view is not None and view.status == OK:
+            around = self._view_op(view, "around", resolved.key())
+            if around is not None:
+                _vertex, preds, succs = around
         colors = [Color.YELLOW]
         if color != Color.YELLOW:
             colors.append(color)
@@ -939,7 +1222,7 @@ class MicroQuerier:
         if view.status == PROVEN_FAULTY:
             vertex.set_color(Color.RED)
             return vertex, Color.RED
-        real = view.graph.get(vertex.key())
+        real = self._view_op(view, "get", vertex.key())
         if real is not None:
             return real, real.color
         if vertex.t is not None and vertex.t < view.base_time:

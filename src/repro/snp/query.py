@@ -243,7 +243,8 @@ class QueryProcessor:
         view = self.mq.view_of(node)
         if view.status != "ok":
             return []
-        vertices = view.graph.find_all(vtype=EXIST, node=node, tup=tup)
+        vertices = self.mq.view_find_all(view, vtype=EXIST, node=node,
+                                         tup=tup)
         return [(v.t, v.t_end) for v in vertices]
 
     # ------------------------------------------------------------- lookup
@@ -255,8 +256,10 @@ class QueryProcessor:
                 f"cannot query {node!r}: {view.status} "
                 f"({view.verdict_reason})"
             )
-        candidates = view.graph.find_all(vtype=EXIST, node=node, tup=tup)
-        candidates += view.graph.find_all(vtype=BELIEVE, node=node, tup=tup)
+        candidates = self.mq.view_find_all(view, vtype=EXIST, node=node,
+                                           tup=tup)
+        candidates += self.mq.view_find_all(view, vtype=BELIEVE, node=node,
+                                            tup=tup)
         best = None
         for vertex in candidates:
             if at is None:
@@ -273,8 +276,10 @@ class QueryProcessor:
         view = self.mq.view_of(node)
         if view.status != "ok":
             return None
-        candidates = view.graph.find_all(vtype=EXIST, node=node, tup=tup)
-        candidates += view.graph.find_all(vtype=BELIEVE, node=node, tup=tup)
+        candidates = self.mq.view_find_all(view, vtype=EXIST, node=node,
+                                           tup=tup)
+        candidates += self.mq.view_find_all(view, vtype=BELIEVE, node=node,
+                                            tup=tup)
         if not candidates:
             return None
         return max(candidates, key=lambda v: v.t)
@@ -292,7 +297,8 @@ class QueryProcessor:
         )
         best = None
         for kind in kinds:
-            for vertex in view.graph.find_all(vtype=kind, node=node, tup=tup):
+            for vertex in self.mq.view_find_all(view, vtype=kind, node=node,
+                                                tup=tup):
                 if before is not None and vertex.t > before:
                     continue
                 if best is None or vertex.t > best.t:

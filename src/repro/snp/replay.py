@@ -42,7 +42,9 @@ from repro.crypto.hashing import HashChain
 from repro.model import Ack
 from repro.provgraph.gca import Event, GraphConstructor
 from repro.snp.log import INS, DEL, SND, RCV, ACK, CHK
-from repro.util.errors import LogVerificationError, ReplayDivergence
+from repro.util.errors import (
+    AuthenticationError, LogVerificationError, ReplayDivergence,
+)
 
 
 def log_entries_to_history(node_id, entries):
@@ -153,6 +155,53 @@ def check_against_authenticator(response, hashes, auth, stats=None,
             f"authenticator for entry {index} does not match the log "
             "(equivocation or tampering)",
         )
+
+
+def verify_anchor_segment(response, public_key, trusted_head=None,
+                          stats=None):
+    """Verify a segment fetched solely to *anchor* owed evidence checks.
+
+    Used by the on-demand anchoring fetch (a pending skip recorded by
+    :func:`check_against_authenticator`'s ``on_skip`` means evidence fell
+    below an earlier segment's anchor): before any owed authenticator is
+    compared against this segment, the segment itself must be committed
+    to by the node — its head authenticator validly signed and on the
+    recomputed chain — and, when the caller already audited this node up
+    to *trusted_head* (an ``(index, hash)`` pair), the chain must pass
+    through that head. Without the cross-check a forked node could serve
+    one history to the auditor and a different one to anchor its debts;
+    with it, the mismatch is itself proof of the fork. Returns the chain
+    hashes aligned with the entries.
+    """
+    from repro.util.serialization import canonical_bytes
+
+    auth = response.head_auth
+    if stats is not None:
+        stats.signatures_verified += 1
+    if not public_key.verify(canonical_bytes(auth.payload()),
+                             auth.signature):
+        raise AuthenticationError(
+            f"authenticator from {auth.node!r} has an invalid signature"
+        )
+    hashes = verify_segment_hashes(response)
+    check_against_authenticator(response, hashes, auth)
+    if trusted_head is not None:
+        index, trusted_hash = trusted_head
+        first = response.start_index
+        last = first + len(response.entries) - 1
+        if index == first - 1:
+            found = response.start_hash
+        elif first <= index <= last:
+            found = hashes[index - first]
+        else:
+            found = None  # segment does not reach the audited head
+        if found is not None and found != trusted_hash:
+            raise LogVerificationError(
+                response.node,
+                f"anchoring segment does not pass through the audited "
+                f"head at entry {index} (fork)",
+            )
+    return hashes
 
 
 class ReplayResult:

@@ -339,10 +339,14 @@ class LazyReplay:
 
 def replay_handle_to_wire(replay):
     """The boundary-crossing form of a replay handle: a LazyReplay's blob
-    passes through untouched (the coordinator never decoded it); a live
-    ReplayResult is encoded."""
+    passes through untouched (the coordinator never decoded it); a
+    ResidentReplay crosses as just its cache key (node affinity routes the
+    work to the worker that owns the state); a live ReplayResult is
+    encoded."""
     if isinstance(replay, LazyReplay):
         return ("W.replayblob", replay.blob)
+    if isinstance(replay, ResidentReplay):
+        return ("W.residentref", replay.head_index, replay.head_hash)
     return replay_to_wire(replay)
 
 
@@ -350,7 +354,277 @@ def replay_handle_from_wire(wire, machine_factory):
     if wire[0] == "W.replayblob":
         import pickle
         return replay_from_wire(pickle.loads(wire[1]), machine_factory)
+    if wire[0] == "W.residentref":
+        return _ResidentRef(wire[1], wire[2])
     return replay_from_wire(wire, machine_factory)
+
+
+# ------------------------------------------------- shared-memory transport
+
+try:
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - py < 3.8
+    _shared_memory = None
+
+#: Payloads below this size ship inline through the pool's own pickle
+#: pipe; the fixed cost of creating + attaching a shm segment only pays
+#: off for bulk payloads (provenance graph snapshots, long log segments).
+SHM_MIN_BYTES = 32 * 1024
+
+
+def _shm_untrack(shm):
+    """Drop *shm* from this process's resource tracker.
+
+    Creating *and* attaching both register a segment with the per-process
+    resource tracker, which warns about (and unlinks) everything still
+    registered at interpreter exit. Our protocol instead unlinks each
+    segment explicitly, exactly once, by whichever side owns the read —
+    so every helper here balances its registration out immediately.
+    """
+    try:
+        from multiprocessing import resource_tracker
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+
+
+def shm_publish(data):
+    """Create a shared-memory segment holding *data*; returns its name.
+    Untracked: destruction is the explicit protocol's job, not the
+    resource tracker's."""
+    shm = _shared_memory.SharedMemory(create=True, size=max(1, len(data)))
+    shm.buf[:len(data)] = data
+    shm.close()
+    _shm_untrack(shm)
+    return shm.name
+
+
+def shm_read(name, size, unlink=False):
+    """Read *size* bytes from segment *name*; with ``unlink=True`` the
+    reader owns the segment and destroys it after the read."""
+    shm = _shared_memory.SharedMemory(name=name)
+    try:
+        data = bytes(shm.buf[:size])
+    finally:
+        shm.close()
+        if unlink:
+            try:
+                shm.unlink()  # also unregisters from the tracker
+            except FileNotFoundError:
+                _shm_untrack(shm)
+        else:
+            _shm_untrack(shm)
+    return data
+
+
+class ShmArena:
+    """Coordinator-side ref-counted registry of published shm segments.
+
+    ``publish`` creates a segment for one payload and records one
+    reference; ``retain``/``release`` adjust the count, and the segment is
+    unlinked when it drops to zero (normally: after the consuming worker's
+    future resolved). ``close`` unlinks everything still live — builds
+    that died between submit and collect must not leak segments past the
+    executor's lifetime.
+    """
+
+    def __init__(self):
+        import threading
+        self._lock = threading.Lock()
+        self._refs = {}          # name -> refcount
+        self.bytes_published = 0
+
+    @property
+    def available(self):
+        return _shared_memory is not None
+
+    def publish(self, data):
+        name = shm_publish(data)
+        with self._lock:
+            self._refs[name] = 1
+            self.bytes_published += len(data)
+        return name
+
+    def retain(self, name):
+        with self._lock:
+            self._refs[name] += 1
+
+    def release(self, name):
+        with self._lock:
+            count = self._refs.get(name)
+            if count is None:
+                return
+            if count > 1:
+                self._refs[name] = count - 1
+                return
+            del self._refs[name]
+        self._destroy(name)
+
+    def close(self):
+        with self._lock:
+            names = list(self._refs)
+            self._refs.clear()
+        for name in names:
+            self._destroy(name)
+
+    @staticmethod
+    def _destroy(name):
+        try:
+            shm = _shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            return
+        shm.close()
+        try:
+            shm.unlink()  # also unregisters from the tracker
+        except FileNotFoundError:
+            _shm_untrack(shm)
+
+
+def ship_payload(data, arena):
+    """Coordinator → worker: wrap pre-pickled *data* for submission.
+
+    Bulk payloads go through the arena (the pool's pipe then carries only
+    the segment name); small ones ride the pipe inline. Returns
+    ``(payload, shm_name, shm_bytes)`` — *shm_name* (or None) is what the
+    caller must release after the worker's future resolves.
+    """
+    if arena is not None and arena.available and len(data) >= SHM_MIN_BYTES:
+        name = arena.publish(data)
+        return ("W.shmref", name, len(data)), name, len(data)
+    return ("W.blob", data), None, 0
+
+
+def _load_shipped(payload):
+    """Worker side: decode a :func:`ship_payload` payload to bytes."""
+    tag = payload[0]
+    if tag == "W.shmref":
+        return shm_read(payload[1], payload[2], unlink=False)
+    if tag == "W.blob":
+        return payload[1]
+    raise WireError(f"unrecognized shipped payload {tag!r}")
+
+
+def _ship_result(data):
+    """Worker → coordinator: wrap pre-pickled result bytes.
+
+    The worker creates (and immediately untracks) the segment; the
+    coordinator reads it once with ``unlink=True`` — worker-owned
+    segments are single-shot, so no refcounting is needed."""
+    if _shared_memory is not None and len(data) >= SHM_MIN_BYTES:
+        # The creating worker never unlinks: ownership passes to the
+        # coordinator with the name.
+        return ("W.shmblob", shm_publish(data), len(data))
+    return ("W.resultblob", data)
+
+
+def collect_result(shipped):
+    """Coordinator side: decode a :func:`_ship_result` payload.
+
+    Returns ``(data, shm_bytes)`` where *shm_bytes* is how much of it
+    crossed through shared memory (for ``QueryStats.shm_bytes``)."""
+    tag = shipped[0]
+    if tag == "W.shmblob":
+        return shm_read(shipped[1], shipped[2], unlink=True), shipped[2]
+    if tag == "W.resultblob":
+        return shipped[1], 0
+    raise WireError(f"unrecognized result payload {tag!r}")
+
+
+# ----------------------------------------------------- resident view plane
+
+class ResidentViewLost(ReproError):
+    """A worker-resident view is gone (worker died, entry evicted, or the
+    resident head moved) — the caller must fall back to a cold build."""
+
+
+class _ResidentRef:
+    """Worker-side marker for a base replay that should be resolved from
+    the worker's own resident cache (decoded from ``W.residentref``)."""
+
+    __slots__ = ("head_index", "head_hash")
+
+    def __init__(self, head_index, head_hash):
+        self.head_index = head_index
+        self.head_hash = head_hash
+
+
+class ResidentReplay:
+    """Coordinator-side handle for a replay owned by a worker process.
+
+    Where :class:`LazyReplay` holds the *bytes* of a worker-built replay,
+    this holds only its cache key — ``(node, head_index, head_hash)`` —
+    and reaches the live state through the executor's affinity-routed
+    resident ops. Graph reads (``query``) run *in the owning worker* and
+    return cloned value vertices, so the coordinator never pays the
+    decode; ``materialize`` pulls the full blob over (shared memory for
+    bulk) only when in-process state is genuinely needed. Every op can
+    raise :class:`ResidentViewLost`, the explicit invalidation signal the
+    querier answers with a bit-identical cold rebuild.
+    """
+
+    __slots__ = ("executor", "node", "head_index", "head_hash",
+                 "machine_factory", "response", "_result", "_ops")
+
+    def __init__(self, executor, node, head_index, head_hash,
+                 machine_factory=None, response=None):
+        self.executor = executor
+        self.node = node
+        self.head_index = head_index
+        self.head_hash = head_hash
+        self.machine_factory = machine_factory
+        self.response = response
+        self._result = None
+        self._ops = {}
+
+    @property
+    def materialized(self):
+        return self._result is not None
+
+    def query(self, op, payload=None, stats=None):
+        """Run a read-only graph op in the owning worker (memoized per
+        handle — a handle is specific to one verified head, so results
+        can never go stale under it)."""
+        key = (op, payload)
+        try:
+            if key in self._ops:
+                return self._ops[key]
+        except TypeError:
+            key = None
+        value = self.executor.resident_op(
+            self.node, self.head_index, self.head_hash, op, payload,
+            stats=stats,
+        )
+        if key is not None:
+            self._ops[key] = value
+        return value
+
+    def materialize(self, stats=None):
+        """Pull the resident replay's full state into this process."""
+        if self._result is None:
+            import pickle
+            blob = self.executor.resident_op(
+                self.node, self.head_index, self.head_hash, "blob", None,
+                stats=stats,
+            )
+            result = replay_from_wire(pickle.loads(blob),
+                                      self.machine_factory)
+            result.response = self.response
+            self._result = result
+        return self._result
+
+    @property
+    def graph(self):
+        return self.materialize().graph
+
+    def invalidate(self):
+        """Drop the worker-side entry (fork conviction, GC floor,
+        explicit invalidate). Best-effort: a dead worker already lost
+        the entry."""
+        self._ops = {}
+        evict = getattr(self.executor, "evict_resident", None)
+        if evict is None:
+            return False
+        return evict(self.node)
 
 
 # ----------------------------------------------------------- build context
@@ -538,11 +812,15 @@ class CompactOutcome:
 
     __slots__ = ("node", "kind", "status", "reason", "hashes", "checked",
                  "recovered", "skipped", "tombstoned", "stats",
-                 "replay_result", "replay_ran")
+                 "replay_result", "replay_ran", "resident_head")
 
     OK = "ok"
     VERIFY_FAILED = "verify-failed"
     REPLAY_FAILED = "replay-failed"
+    #: Resident executors only: the work referenced a worker-resident base
+    #: replay the worker no longer holds (evicted, respawned, or at a
+    #: different head). The coordinator falls back to a cold build.
+    CACHE_MISS = "cache-miss"
 
     def __init__(self, node, kind):
         self.node = node
@@ -550,7 +828,7 @@ class CompactOutcome:
         self.status = self.OK
         self.reason = None
         self.hashes = None
-        self.checked = set()
+        self.checked = {}
         self.recovered = []
         self.skipped = []
         # Pending-skip signatures proven permanently uncheckable: they
@@ -563,6 +841,11 @@ class CompactOutcome:
         #: means the base replay is no longer at its committed head, so a
         #: view kept on a failure path must not stay extendable.
         self.replay_ran = False
+        #: Resident executors: ``(head_index, head_hash)`` of the replay
+        #: now held in the worker's resident cache. Set instead of
+        #: shipping the replay blob — the coordinator wraps it in a
+        #: :class:`ResidentReplay` handle.
+        self.resident_head = None
 
     def to_wire(self):
         replay_blob = None
@@ -576,19 +859,21 @@ class CompactOutcome:
             )
         return ("W.outcome", self.node, self.kind, self.status, self.reason,
                 None if self.hashes is None else tuple(self.hashes),
-                tuple(sorted(self.checked)), tuple(self.recovered),
+                tuple(sorted(self.checked.items())), tuple(self.recovered),
                 tuple(self.skipped), tuple(self.tombstoned),
-                stats_to_wire(self.stats), replay_blob, self.replay_ran)
+                stats_to_wire(self.stats), replay_blob, self.replay_ran,
+                self.resident_head)
 
     @classmethod
     def from_wire(cls, wire, machine_factory):
         (_tag, node, kind, status, reason, hashes, checked, recovered,
-         skipped, tombstoned, stats, replay_blob, replay_ran) = wire
+         skipped, tombstoned, stats, replay_blob, replay_ran,
+         resident_head) = wire
         outcome = cls(node, kind)
         outcome.status = status
         outcome.reason = reason
         outcome.hashes = None if hashes is None else list(hashes)
-        outcome.checked = set(checked)
+        outcome.checked = dict(checked)
         outcome.recovered = list(recovered)
         outcome.skipped = list(skipped)
         outcome.tombstoned = list(tombstoned)
@@ -596,6 +881,7 @@ class CompactOutcome:
         if replay_blob is not None:
             outcome.replay_result = LazyReplay(replay_blob, machine_factory)
         outcome.replay_ran = replay_ran
+        outcome.resident_head = resident_head
         return outcome
 
 
@@ -615,12 +901,13 @@ def note_checked(checked, response, auth):
     """Memoize an authenticator that was actually compared against the
     verified chain (not one merely skipped as pre-anchor): a later refresh
     extends the same chain, so the comparison stays valid. Notes land in
-    the outcome-local set and are committed to the querier's memo only
-    when the view finalizes ``ok``."""
+    the outcome-local dict (signature → entry index, so the querier can
+    later evict memos that fell below a verified head) and are committed
+    to the querier's memo only when the view finalizes ``ok``."""
     first = response.start_index
     last = first + len(response.entries) - 1
     if first - 1 <= auth.index <= last:
-        checked.add(bytes(auth.signature))
+        checked[bytes(auth.signature)] = auth.index
 
 
 def verify_checkpoint(node_id, chk_entry):
@@ -821,9 +1108,10 @@ def compute_build(work, context):
             # against the cached head hash above, confirming no fork.
             return outcome
         outcome.replay_ran = True
-        if isinstance(work.base_replay, LazyReplay):
-            # In-process compute over a lazily-held view: materialize,
-            # then extend in place — exactly the serial semantics.
+        if not isinstance(work.base_replay, ReplayResult):
+            # A replay *handle* (a lazily-held blob, or a resident-cache
+            # handle): materialize, then extend in place — exactly the
+            # serial semantics.
             work.base_replay = work.base_replay.materialize()
         _processed, _elapsed, failure = extend_replay(
             work.node, work.base_replay, response,
@@ -850,16 +1138,26 @@ def compute_build(work, context):
 # ------------------------------------------------------- process-pool side
 
 _POOL_CONTEXT = None
+#: Resident pools only: this worker's view cache, an LRU-ordered
+#: ``{node: _ResidentEntry}``. ``None`` in blob-shipping pools.
+_RESIDENT = None
+_RESIDENT_CAP = None
 
 
-def init_worker_process(context_wire):
-    """Per-pool initializer: decode the one-time context once per worker."""
-    global _POOL_CONTEXT
+def init_worker_process(context_wire, resident=False, resident_cap=None):
+    """Per-pool initializer: decode the one-time context once per worker.
+    *resident* turns on the worker-owned view cache (bounded to
+    *resident_cap* entries, LRU; None = unbounded)."""
+    global _POOL_CONTEXT, _RESIDENT, _RESIDENT_CAP
     _POOL_CONTEXT = BuildContext.from_wire(context_wire)
+    if resident:
+        from collections import OrderedDict
+        _RESIDENT = OrderedDict()
+        _RESIDENT_CAP = resident_cap
 
 
 def compute_build_wire(work_wire):
-    """The function a process pool actually runs: wire in, wire out."""
+    """The function a blob-shipping process pool runs: wire in, wire out."""
     if _POOL_CONTEXT is None:
         raise WireError("worker process was not initialized with a context")
     work = BuildWork.from_wire(work_wire, _POOL_CONTEXT)
@@ -871,3 +1169,214 @@ def warm_worker(seconds):
     their initializer) ahead of the first real batch."""
     time.sleep(seconds)
     return True
+
+
+# ----------------------------------------------- resident pool worker side
+
+class _ResidentEntry:
+    """One worker-owned view: the live replay plus the verified head it is
+    parked at. ``blob_size`` is the replay's wire-blob size, measured once
+    at store time — the per-refresh pickle traffic a resident hit avoids.
+    ``app_spec`` is the factory registry spec the entry's machines were
+    built from: factories are resolved per work item (a refreshed
+    content store must never be stale), so an extend whose work carries
+    a *different* spec rebinds the machines first (see
+    :func:`_rebind_machines`).
+    """
+
+    __slots__ = ("result", "head_index", "head_hash", "blob_size",
+                 "app_spec")
+
+    def __init__(self, result, head_index, head_hash, blob_size,
+                 app_spec=None):
+        self.result = result
+        self.head_index = head_index
+        self.head_hash = head_hash
+        self.blob_size = blob_size
+        self.app_spec = app_spec
+
+
+def _response_head(response, hashes):
+    """(head_index, head_hash) a verified response advances a view to —
+    must mirror how the coordinator's finalize computes the view head."""
+    if response.entries:
+        return response.start_index + len(response.entries) - 1, hashes[-1]
+    return response.start_index - 1, response.start_hash
+
+
+def _rebind_machines(result, factory):
+    """Re-found *result*'s state machines on *factory*.
+
+    The blob pool gets this for free: every extend reconstructs the base
+    replay through the current work item's factory, so factory-supplied
+    environments (e.g. a MapReduce content store that grew since the
+    build) are always current. A resident replay keeps its live machines
+    across work items, so when a work item arrives with a different
+    factory spec the machines are snapshot-restored through the new
+    factory — bit-identical by the checkpoint determinism contract,
+    exactly the path ``replay_from_wire`` takes.
+    """
+    gca = result.gca
+    gca.machine_factory = factory
+    for node, machine in list(gca.machines.items()):
+        fresh = factory(node)
+        fresh.restore(machine.snapshot())
+        gca.machines[node] = fresh
+    result.machine = gca.machines.get(result.node)
+
+
+def _store_resident(node, result, head_index, head_hash, stats,
+                    app_spec=None):
+    """Park *result* in the resident cache (LRU-evicting over the cap).
+    The blob-size measurement pickles once — exactly the encode the blob
+    pool pays to *ship* the result, so a cold build through the resident
+    pool costs no more than one through the blob pool."""
+    if _RESIDENT is None:
+        return False
+    import pickle
+    blob_size = len(pickle.dumps(replay_to_wire(result)))
+    _RESIDENT[node] = _ResidentEntry(result, head_index, head_hash,
+                                     blob_size, app_spec)
+    _RESIDENT.move_to_end(node)
+    if _RESIDENT_CAP is not None:
+        while len(_RESIDENT) > _RESIDENT_CAP:
+            _RESIDENT.popitem(last=False)
+            stats.view_cache_evictions += 1
+    return True
+
+
+def _resident_extend(work):
+    """Run an extend whose base replay lives in this worker's cache."""
+    ref = work.base_replay
+    entry = _RESIDENT.get(work.node) if _RESIDENT is not None else None
+    if entry is None or entry.head_index != ref.head_index \
+            or entry.head_hash != ref.head_hash:
+        outcome = CompactOutcome(work.node, work.kind)
+        outcome.status = CompactOutcome.CACHE_MISS
+        outcome.reason = (
+            f"no resident replay for {work.node!r} at entry "
+            f"{ref.head_index}"
+        )
+        outcome.stats = QueryStats()
+        return outcome
+    _RESIDENT.move_to_end(work.node)
+    if entry.app_spec != work.app_spec:
+        _rebind_machines(entry.result,
+                         work.resolve_factory(_POOL_CONTEXT))
+        entry.app_spec = work.app_spec
+    work.base_replay = entry.result
+    outcome = compute_build(work, _POOL_CONTEXT)
+    stats = outcome.stats
+    stats.view_cache_hits += 1
+    # Inbound saving: the work item carried a head reference where the
+    # blob pool ships (and this worker would re-decode) the base replay.
+    stats.pickle_bytes_avoided += entry.blob_size
+    if outcome.status == CompactOutcome.OK:
+        if outcome.replay_ran:
+            # Extended in place: the entry moves to the new verified
+            # head, and the extended blob the blob pool would ship back
+            # stays put — the outbound saving.
+            entry.head_index, entry.head_hash = _response_head(
+                work.response, outcome.hashes
+            )
+            stats.pickle_bytes_avoided += entry.blob_size
+        outcome.replay_result = None
+        outcome.resident_head = (entry.head_index, entry.head_hash)
+    elif outcome.status == CompactOutcome.VERIFY_FAILED:
+        # Verification precedes replay: the entry is still exactly at its
+        # committed head and stays resident (a kept-stale view can extend
+        # it later).
+        outcome.resident_head = (entry.head_index, entry.head_hash)
+    else:
+        # REPLAY_FAILED: the resident state advanced past its committed
+        # head into a failed replay — poisoned for extension. Ship the
+        # failed replay (the proven-faulty view keeps it as evidence) and
+        # drop the entry.
+        _RESIDENT.pop(work.node, None)
+    return outcome
+
+
+def _adopt_build(work, outcome):
+    """Park a fresh (or blob-based extended) ``ok`` build in the resident
+    cache and strip the outbound blob: later refreshes ship heads."""
+    if _RESIDENT is None or outcome.status != CompactOutcome.OK:
+        return
+    result = outcome.replay_result
+    if result is None:
+        return  # e.g. an empty blob-based extend: nothing newly built
+    if not isinstance(result, ReplayResult):
+        result = result.materialize()
+    head_index, head_hash = _response_head(work.response, outcome.hashes)
+    _store_resident(work.node, result, head_index, head_hash, outcome.stats,
+                    app_spec=work.app_spec)
+    outcome.replay_result = None
+    outcome.resident_head = (head_index, head_hash)
+
+
+def compute_build_resident_wire(payload):
+    """The resident pool's build entry point: a shipped (possibly
+    shm-borne) work payload in, a shipped outcome out, with this worker's
+    view cache consulted and updated along the way."""
+    if _POOL_CONTEXT is None:
+        raise WireError("worker process was not initialized with a context")
+    import pickle
+    work_wire = pickle.loads(_load_shipped(payload))
+    work = BuildWork.from_wire(work_wire, _POOL_CONTEXT)
+    if isinstance(work.base_replay, _ResidentRef):
+        outcome = _resident_extend(work)
+    else:
+        # Any build that runs without a resident base — cold full builds
+        # and blob-carried extends alike — is a cache miss; this is the
+        # single place misses are counted, so fallback rebuilds after a
+        # lost entry tally exactly once.
+        outcome = compute_build(work, _POOL_CONTEXT)
+        outcome.stats.view_cache_misses += 1
+        _adopt_build(work, outcome)
+    return _ship_result(pickle.dumps(outcome.to_wire()))
+
+
+def resident_op_wire(request):
+    """An affinity-routed read against this worker's resident cache.
+
+    ``request`` is ``(node, head_index, head_hash, op, payload)``. Graph
+    reads return *cloned* value vertices (clones pickle under the
+    constructor-rebuilding contract; graph-member vertices must never
+    leave the worker). A missing entry — or one parked at a different
+    head — answers ``W.lost``, which the coordinator raises as
+    :class:`ResidentViewLost`.
+    """
+    node, head_index, head_hash, op, payload = request
+    if op == "evict":
+        dropped = (_RESIDENT is not None
+                   and _RESIDENT.pop(node, None) is not None)
+        return ("W.opres", dropped)
+    entry = _RESIDENT.get(node) if _RESIDENT is not None else None
+    if entry is None or entry.head_index != head_index \
+            or entry.head_hash != head_hash:
+        return ("W.lost",)
+    _RESIDENT.move_to_end(node)
+    if op == "blob":
+        import pickle
+        return _ship_result(pickle.dumps(replay_to_wire(entry.result)))
+    from repro.provgraph.graph import _clone_vertex
+    graph = entry.result.graph
+    if op == "get":
+        vertex = graph.get(payload)
+        value = None if vertex is None else _clone_vertex(vertex)
+    elif op == "around":
+        vertex = graph.get(payload)
+        if vertex is None:
+            value = None
+        else:
+            value = (
+                _clone_vertex(vertex),
+                [_clone_vertex(p) for p in graph.predecessors(vertex)],
+                [_clone_vertex(s) for s in graph.successors(vertex)],
+            )
+    elif op == "find_all":
+        vtype, vnode, tup = payload
+        value = [_clone_vertex(v)
+                 for v in graph.find_all(vtype=vtype, node=vnode, tup=tup)]
+    else:
+        raise WireError(f"unknown resident op {op!r}")
+    return ("W.opres", value)

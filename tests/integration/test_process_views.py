@@ -17,8 +17,8 @@ from repro.snp import Deployment, QueryProcessor
 from repro.snp.adversary import ForkingNode, SilentNode, TamperingNode
 from repro.snp.evidence import Authenticator
 from repro.snp.executor import (
-    ProcessExecutor, SerialExecutor, ThreadedExecutor, WireCheckExecutor,
-    make_executor,
+    ProcessBlobExecutor, ProcessExecutor, SerialExecutor, ThreadedExecutor,
+    WireCheckExecutor, make_executor,
 )
 
 
@@ -157,6 +157,8 @@ class TestExecutorLifecycle:
         assert isinstance(make_executor("wire"), WireCheckExecutor)
         proc = make_executor("process:3")
         assert isinstance(proc, ProcessExecutor) and proc.workers == 3
+        blob = make_executor("process-blob:2")
+        assert isinstance(blob, ProcessBlobExecutor) and blob.workers == 2
         with pytest.raises(ValueError):
             make_executor("process:0")
         passthrough = WireCheckExecutor()
@@ -190,11 +192,19 @@ class TestExecutorLifecycle:
     def test_process_pool_closes_and_is_prewarmed(self):
         dep, _nodes = _net(seed=73)
         with QueryProcessor(dep, executor="process:2") as qp:
-            # prepare() ran at construction: the pool exists before the
+            # prepare() ran at construction: the slots exist before the
             # first batch, so spawn cost never lands inside a query.
-            assert qp.mq.executor._pool is not None
+            assert qp.mq.executor.alive
             qp.prefetch(["a", "b"])
-        assert qp.mq.executor._pool is None
+        assert not qp.mq.executor.alive
+
+    @pytest.mark.slow
+    def test_blob_pool_closes_and_is_prewarmed(self):
+        dep, _nodes = _net(seed=73)
+        with QueryProcessor(dep, executor="process-blob:2") as qp:
+            assert qp.mq.executor.alive
+            qp.prefetch(["a", "b"])
+        assert not qp.mq.executor.alive
 
 
 class TestPendingSkippedAuthenticators:
@@ -206,7 +216,11 @@ class TestPendingSkippedAuthenticators:
         dep.checkpoint_all()
         nodes["a"].insert(link("a", "y", 4))
         dep.run()
-        qp = QueryProcessor(dep, use_checkpoints=True)
+        # The on-demand anchoring fetch (PR 6) would repay the pending
+        # skips at batch end; disable it so the registry itself — what
+        # these tests pin — stays observable.
+        qp = QueryProcessor(dep, use_checkpoints=True,
+                            fetch_pending_anchors=False)
         qp.why(best_cost("c", "d", 5))
         return dep, nodes, qp
 
