@@ -16,10 +16,15 @@ processed per second. Workloads scale node count and relation size:
   plus per-job completion counts over one reducer's shuffle relation.
 
 Messages between nodes are pumped through a deterministic FIFO (no
-crypto, no logging — this isolates the evaluation core). ``python
-benchmarks/bench_engine.py`` writes ``BENCH_engine.json`` next to this
-file so later PRs can track the trajectory; ``--smoke`` runs tiny sizes
-(used by CI) and still enforces output equality between the engines.
+crypto, no logging — this isolates the evaluation core). Besides wall
+time, every row carries the engines' deterministic evaluation counters
+(join candidates enumerated, guard prunes), and a static ``plans``
+section records per-program analysis/plan-build time plus the guard
+schedule shape (pre/mid/late placements) — the machine-portable signals
+``check_regression.py`` gates on. ``python benchmarks/bench_engine.py``
+writes ``BENCH_engine.json`` next to this file so later PRs can track
+the trajectory; ``--smoke`` runs tiny sizes (used by CI) and still
+enforces output equality between the engines.
 """
 
 import argparse
@@ -198,6 +203,55 @@ def run_hadoop(app_cls, n_shuffle):
     return mesh
 
 
+# ------------------------------------------------------------ static side
+
+PLAN_PROGRAMS = {
+    "chord": lambda: chord_app.chord_program(ring_bits=12),
+    "pathvector": pv.pathvector_program,
+    "hadoop": hadoop_program,
+}
+
+
+def measure_plans(repeats=5):
+    """The static cost of a program: analysis + plan compilation time and
+    the guard schedule shape. Wall times are recorded to watch the
+    trajectory (an analyzer pass going quadratic shows up here); the
+    regression gate only compares the deterministic guard-placement
+    counts, where early→late drift means lost pruning."""
+    from repro.datalog.plan import guard_schedule_counts
+
+    rows = []
+    for name, builder in PLAN_PROGRAMS.items():
+        build_best = analyze_best = float("inf")
+        program = None
+        for _ in range(repeats):
+            started = time.perf_counter()
+            program = builder()
+            build_best = min(build_best, time.perf_counter() - started)
+            started = time.perf_counter()
+            program.analyze()
+            analyze_best = min(analyze_best, time.perf_counter() - started)
+        counts = guard_schedule_counts(program)
+        row = {
+            "program": name,
+            "rules": len(program.rules),
+            "build_seconds": round(build_best, 6),
+            "analyze_seconds": round(analyze_best, 6),
+            "guard_pre": counts["pre"],
+            "guard_mid": counts["mid"],
+            "guard_late": counts["late"],
+        }
+        rows.append(row)
+        print(
+            f"{name:>10} rules={row['rules']:<3} "
+            f"build={row['build_seconds'] * 1e3:.2f}ms "
+            f"analyze={row['analyze_seconds'] * 1e3:.2f}ms "
+            f"guards pre/mid/late="
+            f"{counts['pre']}/{counts['mid']}/{counts['late']}"
+        )
+    return rows
+
+
 # ---------------------------------------------------------------- harness
 
 WORKLOADS = {
@@ -229,6 +283,15 @@ def measure(runner, app_cls, size):
         "ops_per_sec": mesh.events / elapsed if elapsed else float("inf"),
         "fingerprint": mesh.fingerprint(),
         "routes": getattr(mesh, "routes", None),
+        # Deterministic evaluation counters (summed over the mesh):
+        # candidates enumerated by join steps, and candidates rejected by
+        # a guard. Machine-portable, so the regression gate tracks them.
+        "join_candidates": sum(
+            app.join_candidates for app in mesh.apps.values()
+        ),
+        "guard_prunes": sum(
+            app.guard_prunes for app in mesh.apps.values()
+        ),
     }
 
 
@@ -253,6 +316,10 @@ def run_suite(sizes, min_speedup=None):
                 "naive_seconds": round(naive["seconds"], 4),
                 "indexed_seconds": round(indexed["seconds"], 4),
                 "speedup": round(speedup, 2),
+                "indexed_join_candidates": indexed["join_candidates"],
+                "naive_join_candidates": naive["join_candidates"],
+                "indexed_guard_prunes": indexed["guard_prunes"],
+                "naive_guard_prunes": naive["guard_prunes"],
             }
             if name == "bgp":
                 row["routes"] = indexed["routes"]
@@ -285,6 +352,7 @@ def main(argv=None):
                              "(default: benchmarks/BENCH_engine.json)")
     args = parser.parse_args(argv)
     sizes = SMOKE_SIZES if args.smoke else FULL_SIZES
+    plans = measure_plans()
     results = run_suite(sizes, min_speedup=args.min_speedup)
     out_path = Path(args.out) if args.out else (
         Path(__file__).resolve().parent / "BENCH_engine.json"
@@ -292,6 +360,7 @@ def main(argv=None):
     payload = {
         "benchmark": "datalog engine: indexed join plans vs seed scans",
         "mode": "smoke" if args.smoke else "full",
+        "plans": plans,
         "results": results,
     }
     out_path.write_text(json.dumps(payload, indent=2) + "\n")

@@ -56,14 +56,60 @@ ENGINE_MIN_NAIVE_SECONDS = 0.05
 
 
 def engine_metrics(payload):
-    """Indexed-vs-naive speedup per workload/size (within-run ratio)."""
+    """Indexed-vs-naive speedup per workload/size (within-run ratio),
+    plus the deterministic evaluation and scheduling counters.
+
+    Join candidates are exact counts of the work the indexed engine
+    enumerates — unlike speedups they gate at every size, smoke
+    included. The static guard-placement counts (``plans`` section)
+    catch a scheduler regression where guards drift from early (pre/mid,
+    pruning partial matches) to full-binding (late) even when the tiny
+    smoke wall times hide the slowdown."""
     out = {}
     for row in payload.get("results", []):
+        key = f"{row['workload']}@{row['size']}"
+        if "indexed_join_candidates" in row:
+            out[f"{key}.indexed_join_candidates"] = (
+                row["indexed_join_candidates"], LOWER_IS_BETTER)
         if row.get("naive_seconds", 0.0) < ENGINE_MIN_NAIVE_SECONDS:
             continue
-        key = f"{row['workload']}@{row['size']}"
         out[f"{key}.speedup"] = (row["speedup"], HIGHER_IS_BETTER)
+    for plan in payload.get("plans", []):
+        name = plan["program"]
+        early = plan.get("guard_pre", 0) + plan.get("guard_mid", 0)
+        out[f"plans.{name}.guard_early"] = (early, HIGHER_IS_BETTER)
+        out[f"plans.{name}.guard_late"] = (plan.get("guard_late", 0),
+                                           LOWER_IS_BETTER)
     return out
+
+
+def engine_hard_checks(payload):
+    """Zero-tolerance checks on the current engine output alone: the
+    indexed engine must never enumerate more join candidates than the
+    naive scan does (indexes may only skip work), and the static plans
+    section must be present so the guard-schedule gate stays real."""
+    failures = []
+    for row in payload.get("results", []):
+        indexed = row.get("indexed_join_candidates")
+        naive = row.get("naive_join_candidates")
+        if indexed is None or naive is None:
+            failures.append(
+                f"{row.get('workload')}@{row.get('size')}: bench output "
+                "carries no join-candidate counters"
+            )
+            continue
+        if indexed > naive:
+            failures.append(
+                f"{row['workload']}@{row['size']}: indexed engine "
+                f"enumerated {indexed} join candidates, more than the "
+                f"naive scan's {naive} (indexes must only skip work)"
+            )
+    if not payload.get("plans"):
+        failures.append(
+            "bench output has no plans section (the guard-schedule "
+            "gate would be vacuous)"
+        )
+    return failures
 
 
 def audit_metrics(payload):

@@ -60,7 +60,7 @@ NATIVE_BGP_MESSAGE_BYTES = 68
 
 def bgp_proxy_program():
     X, Nbr, Pfx, Path, P, From = (Var(v) for v in
-                                  ("X", "Nbr", "Pfx", "Path", "P", "From"))
+                                  ("X", "Nbr", "Pfx", "Path", "P", "_From"))
     m0 = MaybeRule(
         "M0",
         head=Atom("route", X, Pfx, P),
@@ -89,7 +89,9 @@ def bgp_proxy_program():
         head=Atom("announce", Nbr, Pfx, P, X),
         body=[Atom("exportRoute", X, Nbr, Pfx, P)],
     )
-    return Program([m0, m1, m2, e1])
+    return Program([m0, m1, m2, e1],
+                   inputs={"originate": 2, "neighbor": 2},
+                   outputs=("announce",))
 
 
 class BgpProxyApp(DatalogApp):

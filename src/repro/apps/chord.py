@@ -58,6 +58,10 @@ def chord_program(ring_bits=16):
                                 ("N", "Id", "M", "MId", "S", "SId", "D"))
     K, R, Q, T, J, Off, P = (Var(v) for v in
                              ("K", "R", "Q", "T", "J", "Off", "P"))
+    # Leading-underscore variables mark intentional wildcards for ndlint
+    # (each occurs at most once per rule, so no accidental self-joins).
+    _M, _MId, _S, _SId, _R = (Var(v) for v in
+                              ("_M", "_MId", "_S", "_SId", "_R"))
 
     def dist(b):
         return (b["MId"] - b["Id"]) % size
@@ -65,7 +69,8 @@ def chord_program(ring_bits=16):
     # --- successor selection -------------------------------------------------
     succ_cand = Rule(
         "SC",
-        head=Atom("succCand", N, M, MId, Expr(dist, "dist(Id,MId)")),
+        head=Atom("succCand", N, M, MId,
+                  Expr(dist, "dist(Id,MId)", vars=(Id, MId))),
         body=[Atom("knownNode", N, M, MId), Atom("node", N, Id)],
         guards=[Guard(lambda b: b["M"] != b["N"], vars=(M, N),
                       label="M!=N")],
@@ -73,7 +78,7 @@ def chord_program(ring_bits=16):
     succ_dist = AggregateRule(
         "SD",
         head=Atom("succDist", N, D),
-        body=[Atom("succCand", N, M, MId, D)],
+        body=[Atom("succCand", N, _M, _MId, D)],
         agg_var=D, func="min",
     )
     succ = Rule(
@@ -86,7 +91,8 @@ def chord_program(ring_bits=16):
     pred_cand = Rule(
         "PC",
         head=Atom("predCand", N, M, MId,
-                  Expr(lambda b: (b["Id"] - b["MId"]) % size, "dist(MId,Id)")),
+                  Expr(lambda b: (b["Id"] - b["MId"]) % size, "dist(MId,Id)",
+                       vars=(Id, MId))),
         body=[Atom("knownNode", N, M, MId), Atom("node", N, Id)],
         guards=[Guard(lambda b: b["M"] != b["N"], vars=(M, N),
                       label="M!=N")],
@@ -94,7 +100,7 @@ def chord_program(ring_bits=16):
     pred_dist = AggregateRule(
         "PD",
         head=Atom("predDist", N, D),
-        body=[Atom("predCand", N, M, MId, D)],
+        body=[Atom("predCand", N, _M, _MId, D)],
         agg_var=D, func="min",
     )
     pred = Rule(
@@ -109,7 +115,7 @@ def chord_program(ring_bits=16):
         "FC",
         head=Atom("fingerCand", N, J, M, MId,
                   Expr(lambda b: (b["MId"] - (b["Id"] + b["Off"])) % size,
-                       "dist(Id+Off,MId)")),
+                       "dist(Id+Off,MId)", vars=(Id, Off, MId))),
         body=[Atom("fingerIndex", N, J, Off), Atom("knownNode", N, M, MId),
               Atom("node", N, Id)],
         guards=[Guard(lambda b: b["M"] != b["N"], vars=(M, N),
@@ -118,7 +124,7 @@ def chord_program(ring_bits=16):
     finger_dist = AggregateRule(
         "FD",
         head=Atom("fingerDist", N, J, D),
-        body=[Atom("fingerCand", N, J, M, MId, D)],
+        body=[Atom("fingerCand", N, J, _M, _MId, D)],
         agg_var=D, func="min",
     )
     finger = Rule(
@@ -139,7 +145,7 @@ def chord_program(ring_bits=16):
     ping = Rule(
         "G1",
         head=Atom("ping", S, N, T),
-        body=[Atom("stabTick", N, T), Atom("succ", N, S, SId)],
+        body=[Atom("stabTick", N, T), Atom("succ", N, S, _SId)],
     )
     share = Rule(
         "G2",
@@ -174,9 +180,10 @@ def chord_program(ring_bits=16):
     hop_cand = Rule(
         "L2",
         head=Atom("hopCand", N, K, R, Q, M,
-                  Expr(lambda b: (b["K"] - b["MId"]) % size, "dist(MId,K)")),
+                  Expr(lambda b: (b["K"] - b["MId"]) % size, "dist(MId,K)",
+                       vars=(K, MId))),
         body=[Atom("lookup", N, K, R, Q), Atom("node", N, Id),
-              Atom("succ", N, S, SId), Atom("knownNode", N, M, MId)],
+              Atom("succ", N, _S, SId), Atom("knownNode", N, M, MId)],
         guards=[
             Guard(lambda b: not in_halfopen_arc(b["K"], b["Id"], b["SId"],
                                                 ring_bits),
@@ -191,7 +198,7 @@ def chord_program(ring_bits=16):
     hop_best = AggregateRule(
         "L3",
         head=Atom("hopBest", N, K, Q, D),
-        body=[Atom("hopCand", N, K, R, Q, M, D)],
+        body=[Atom("hopCand", N, K, _R, Q, _M, D)],
         agg_var=D, func="min",
     )
     forward = Rule(
@@ -200,13 +207,18 @@ def chord_program(ring_bits=16):
         body=[Atom("hopCand", N, K, R, Q, M, D), Atom("hopBest", N, K, Q, D)],
     )
 
-    return Program([
-        succ_cand, succ_dist, succ,
-        pred_cand, pred_dist, pred,
-        finger_cand, finger_dist, finger,
-        ping, share, learn,
-        start, resolve, hop_cand, hop_best, forward,
-    ])
+    return Program(
+        [
+            succ_cand, succ_dist, succ,
+            pred_cand, pred_dist, pred,
+            finger_cand, finger_dist, finger,
+            ping, share, learn,
+            start, resolve, hop_cand, hop_best, forward,
+        ],
+        inputs={"node": 2, "knownNode": 3, "fingerIndex": 3,
+                "gossipPeer": 2, "stabTick": 2, "lookupReq": 3},
+        outputs=("lookupResult", "finger", "pred", "ping"),
+    )
 
 
 def build_chord_app_factory(ring_bits=16):

@@ -43,6 +43,28 @@ COMBINED = "combined"
 OFFSETS = "offsets"
 
 
+#: Declared relation schema (arity counts the @location term). MapReduce
+#: has no Datalog rules — its provenance is *reported* (method #2) — but
+#: the schema still feeds ndlint so the ``--apps`` sweep covers all five
+#: applications, and a unit test checks the tuple constructors against it.
+RELATION_SCHEMA = {
+    "mapTask": 5,
+    "reduceTask": 3,
+    "mapOut": 5,
+    "combineOut": 4,
+    "shuffle": 5,
+    "shuffleBlock": 4,
+    "output": 4,
+}
+
+
+def mapreduce_schema_program():
+    """A rule-less :class:`~repro.datalog.engine.Program` carrying the
+    declared schema, for static analysis only (nothing executes it)."""
+    from repro.datalog import Program
+    return Program([], inputs=dict(RELATION_SCHEMA), outputs=("output",))
+
+
 def content_hash(text):
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 

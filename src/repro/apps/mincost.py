@@ -37,7 +37,7 @@ PAPER_TOPOLOGY = {
 def mincost_program(max_cost=255):
     """Build the three-rule MinCost program."""
     X, Y, Z, K, K1, K2, C, D = (Var(n) for n in
-                                ("X", "Y", "Z", "K", "K1", "K2", "C", "D"))
+                                ("X", "Y", "_Z", "K", "K1", "K2", "C", "D"))
     r1 = Rule(
         "R1",
         head=Atom("cost", X, Y, Y, K),
@@ -46,7 +46,8 @@ def mincost_program(max_cost=255):
     r2 = Rule(
         "R2",
         head=Atom("cost", C, D, X,
-                  Expr(lambda b: b["K1"] + b["K2"], "K1+K2")),
+                  Expr(lambda b: b["K1"] + b["K2"], "K1+K2",
+                       vars=(K1, K2))),
         body=[Atom("link", X, C, K1), Atom("bestCost", X, D, K2)],
         guards=[
             Guard(lambda b: b["C"] != b["D"], vars=(C, D), label="C!=D"),
@@ -60,7 +61,8 @@ def mincost_program(max_cost=255):
         body=[Atom("cost", X, D, Z, K)],
         agg_var=K, func="min",
     )
-    return Program([r1, r2, r3])
+    return Program([r1, r2, r3],
+                   inputs={"link": 3}, outputs=("bestCost",))
 
 
 def build_mincost_app_factory(max_cost=255):

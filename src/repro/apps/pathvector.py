@@ -24,13 +24,15 @@ def pathvector_program(max_path_len=16):
     X, Y, D, P = Var("X"), Var("Y"), Var("D"), Var("P")
     p1 = Rule(
         "P1",
-        head=Atom("route", X, Y, Expr(lambda b: (b["X"], b["Y"]), "(X,Y)")),
+        head=Atom("route", X, Y,
+                  Expr(lambda b: (b["X"], b["Y"]), "(X,Y)", vars=(X, Y))),
         body=[Atom("link", X, Y)],
     )
     p2 = Rule(
         "P2",
         head=Atom("route", Y, D,
-                  Expr(lambda b: (b["Y"],) + b["P"], "(Y,)+P")),
+                  Expr(lambda b: (b["Y"],) + b["P"], "(Y,)+P",
+                       vars=(Y, P))),
         body=[Atom("link", X, Y), Atom("bestRoute", X, D, P)],
         guards=[
             Guard(lambda b: b["Y"] not in b["P"], vars=(Y, P),
@@ -47,7 +49,8 @@ def pathvector_program(max_path_len=16):
         agg_var=P, func="min",
         key=lambda path: (len(path), path),
     )
-    return Program([p1, p2, p3])
+    return Program([p1, p2, p3],
+                   inputs={"link": 2}, outputs=("bestRoute",))
 
 
 def build_pathvector_app_factory(max_path_len=16):

@@ -5,6 +5,9 @@ The paper's primary systems are modeled as tuples plus derivation rules
 
 * :mod:`repro.datalog.ast` — an embedded rule DSL (variables, guards, head
   expressions, aggregate and ``maybe`` rules);
+* :mod:`repro.datalog.analysis` — ndlint, the five-pass static analyzer
+  (safety, arity/types, stratification, SIPS binding order, liveness)
+  whose error diagnostics gate every program before it runs;
 * :mod:`repro.datalog.store` — per-node tuple storage with derivation
   refcounts and believed remote tuples;
 * :mod:`repro.datalog.plan` — the rule compiler: at ``Program.add`` time
@@ -27,11 +30,16 @@ structure of Figure 2 in the paper, where node b derives ``cost(@c,d,b,5)``
 and sends it to c).
 """
 
+from repro.datalog.analysis import (
+    Diagnostic, ProgramAnalysis, ProgramAnalysisError, analyze,
+)
 from repro.datalog.ast import (
-    Var, Expr, Atom, Guard, Rule, AggregateRule, MaybeRule, choice_tuple,
+    Var, Expr, Atom, Guard, Rule, AggregateRule, MaybeRule, Span,
+    choice_tuple,
 )
 from repro.datalog.engine import DatalogApp, Program
 from repro.datalog.naive import NaiveDatalogApp
+from repro.datalog.parser import ParseError, parse_program
 
 __all__ = [
     "Var",
@@ -41,8 +49,15 @@ __all__ = [
     "Rule",
     "AggregateRule",
     "MaybeRule",
+    "Span",
     "choice_tuple",
     "DatalogApp",
     "NaiveDatalogApp",
     "Program",
+    "Diagnostic",
+    "ProgramAnalysis",
+    "ProgramAnalysisError",
+    "analyze",
+    "ParseError",
+    "parse_program",
 ]

@@ -20,13 +20,46 @@ from repro.model import Tup
 from repro.util.errors import ConfigurationError
 
 
+class Span:
+    """A source location: 1-based line/column plus the rule's index.
+
+    The text parser attaches one to every AST node it builds so analyzer
+    diagnostics (:mod:`repro.datalog.analysis`) and parse errors can point
+    at real source locations; DSL-built nodes carry ``span=None``.
+    """
+
+    __slots__ = ("line", "col", "length", "rule_index")
+
+    def __init__(self, line, col, length=1, rule_index=None):
+        self.line = line
+        self.col = col
+        self.length = length
+        self.rule_index = rule_index
+
+    def __repr__(self):
+        return f"Span({self.line}:{self.col})"
+
+    def __eq__(self, other):
+        return (isinstance(other, Span)
+                and (self.line, self.col, self.length, self.rule_index)
+                == (other.line, other.col, other.length, other.rule_index))
+
+    def __hash__(self):
+        return hash((self.line, self.col, self.length, self.rule_index))
+
+
 class Var:
-    """A rule variable, matched by unification."""
+    """A rule variable, matched by unification.
 
-    __slots__ = ("name",)
+    Equality and hashing are by name only; *span* (when the variable came
+    from parsed text) records the occurrence's source location.
+    """
 
-    def __init__(self, name):
+    __slots__ = ("name", "span")
+
+    def __init__(self, name, span=None):
         self.name = name
+        self.span = span
 
     def __repr__(self):
         return self.name
@@ -49,14 +82,15 @@ class Expr:
     scheduled early; None = unknown).
     """
 
-    __slots__ = ("fn", "label", "vars")
+    __slots__ = ("fn", "label", "vars", "span")
 
-    def __init__(self, fn, label="<expr>", vars=None):
+    def __init__(self, fn, label="<expr>", vars=None, span=None):
         self.fn = fn
         self.label = label
         self.vars = None if vars is None else tuple(
             v.name if isinstance(v, Var) else v for v in vars
         )
+        self.span = span
 
     def __repr__(self):
         return self.label
@@ -78,14 +112,15 @@ class Guard:
     fully bound.
     """
 
-    __slots__ = ("fn", "vars", "label")
+    __slots__ = ("fn", "vars", "label", "span")
 
-    def __init__(self, fn, vars=None, label="<guard>"):
+    def __init__(self, fn, vars=None, label="<guard>", span=None):
         self.fn = fn
         self.vars = None if vars is None else tuple(
             v.name if isinstance(v, Var) else v for v in vars
         )
         self.label = label
+        self.span = span
 
     def __call__(self, bindings):
         return self.fn(bindings)
@@ -111,12 +146,13 @@ class Atom:
     Terms may be :class:`Var`, constants, or (in heads only) :class:`Expr`.
     """
 
-    __slots__ = ("relation", "loc", "terms")
+    __slots__ = ("relation", "loc", "terms", "span")
 
-    def __init__(self, relation, loc, *terms):
+    def __init__(self, relation, loc, *terms, span=None):
         self.relation = relation
         self.loc = loc
         self.terms = tuple(terms)
+        self.span = span
 
     def __repr__(self):
         inner = ", ".join([f"@{self.loc!r}"] + [repr(t) for t in self.terms])
@@ -184,12 +220,13 @@ class Rule:
 
     kind = "rule"
 
-    def __init__(self, name, head, body, guards=()):
+    def __init__(self, name, head, body, guards=(), span=None):
         self.name = name
         self.head = head
         self.body = list(body)
         self.guards = tuple(guards)
         self.body_loc = _check_colocated(name, self.body)
+        self.span = span
 
     def __repr__(self):
         return f"Rule({self.name}: {self.head!r} :- {self.body!r})"
@@ -210,9 +247,11 @@ class AggregateRule:
     kind = "aggregate"
     FUNCS = ("min", "max", "sum", "count")
 
-    def __init__(self, name, head, body, agg_var, func, guards=(), key=None):
+    def __init__(self, name, head, body, agg_var, func, guards=(), key=None,
+                 span=None):
         if func not in self.FUNCS:
             raise ConfigurationError(f"rule {name}: unknown aggregate {func}")
+        self.span = span
         #: Optional comparison key for min/max (e.g. shortest-path-first for
         #: path vectors); must be pure and deterministic.
         self.key = key
@@ -268,10 +307,11 @@ class MaybeRule:
 
     kind = "maybe"
 
-    def __init__(self, name, head, body, guards=()):
+    def __init__(self, name, head, body, guards=(), span=None):
         self.name = name
         self.head = head
         self.guards = tuple(guards)
+        self.span = span
         head_terms = (head.loc,) + head.terms
         for term in head_terms:
             if isinstance(term, Expr):

@@ -29,6 +29,7 @@ against.
 
 from collections import deque
 
+from repro.datalog.analysis import analyze
 from repro.datalog.ast import Var, Rule, AggregateRule, MaybeRule
 from repro.datalog.plan import compile_rule
 from repro.datalog.store import TupleStore, DerivationInstance
@@ -42,12 +43,21 @@ class Program:
     Every rule is compiled at :meth:`add` time into an indexed join plan
     (:mod:`repro.datalog.plan`); ``plans[i]`` is the compiled form of
     ``rules[i]``.
+
+    *inputs* / *outputs* optionally declare the base relations the
+    deployment inserts (``{relation: arity-or-None}`` or names) and the
+    relations consumed outside the program — they enable the analyzer's
+    closed-world liveness checks (:mod:`repro.datalog.analysis`).
     """
 
-    def __init__(self, rules=()):
+    def __init__(self, rules=(), inputs=None, outputs=None):
         self.rules = []
         self.plans = []
         self._by_body_relation = {}
+        self.declared_inputs = inputs
+        self.declared_outputs = tuple(outputs) if outputs else ()
+        self._analysis = None
+        self._checked = False
         for rule in rules:
             self.add(rule)
 
@@ -61,7 +71,32 @@ class Program:
             self._by_body_relation.setdefault(atom.relation, []).append(
                 (index, rule, pos)
             )
+        self._analysis = None   # a new rule invalidates the memoized result
+        self._checked = False
         return rule
+
+    def analyze(self):
+        """Run (and memoize) the static analyzer over this program."""
+        if self._analysis is None:
+            self._analysis = analyze(
+                self.rules,
+                inputs=self.declared_inputs,
+                outputs=self.declared_outputs,
+            )
+        return self._analysis
+
+    def ensure_checked(self):
+        """Gate: analyze once and raise on error-severity diagnostics.
+
+        Memoized per instance — programs are shared across nodes and
+        replays, so the fleet pays for one analysis. Raises
+        :class:`~repro.datalog.analysis.ProgramAnalysisError` (a
+        :class:`ConfigurationError`) when the program is unsafe.
+        """
+        if not self._checked:
+            self.analyze().raise_if_errors()
+            self._checked = True
+        return self._analysis
 
     def triggers_for(self, relation):
         """(rule_index, rule, body_position) triples whose body uses *relation*."""
@@ -92,8 +127,12 @@ class DatalogApp(StateMachine):
     #: secondary-index registration and maintenance.
     USE_INDEXES = True
 
-    def __init__(self, node_id, program):
+    def __init__(self, node_id, program, unsafe_skip_analysis=False):
         super().__init__(node_id)
+        if not unsafe_skip_analysis:
+            # The ndlint gate: refuse programs with error-severity
+            # diagnostics (memoized on the shared Program instance).
+            program.ensure_checked()
         self.program = program
         self.store = TupleStore(node_id)
         if self.USE_INDEXES:
@@ -101,6 +140,12 @@ class DatalogApp(StateMachine):
                 self.store.register_index(relation, positions)
         # (rule_index, group_key) -> (head_tup, support) for aggregate heads
         self._agg_current = {}
+        #: Evaluation counters (not part of snapshots): candidate tuples
+        #: enumerated by join steps, and partial/full matches a guard
+        #: rejected. bench_engine reads them to show binding-aware guard
+        #: scheduling pruning work the naive evaluator re-does.
+        self.join_candidates = 0
+        self.guard_prunes = 0
 
     # ------------------------------------------------------------------ API
 
@@ -214,6 +259,7 @@ class DatalogApp(StateMachine):
         plan = self.program.plans[rule_index].joins[pos]
         for guard in plan.pre_guards:
             if not guard(bound):
+                self.guard_prunes += 1
                 return ()
         results = []
         chosen = [None] * len(rule.body)
@@ -233,10 +279,12 @@ class DatalogApp(StateMachine):
             else:
                 candidates = store.visible_set(step.atom.relation)
             for candidate in candidates:
+                self.join_candidates += 1
                 extended = step.atom.match(candidate, bindings)
                 if extended is None:
                     continue
                 if not all(guard(extended) for guard in step.guards):
+                    self.guard_prunes += 1
                     continue
                 chosen[step.body_pos] = candidate
                 run(step_index + 1, extended)

@@ -12,6 +12,11 @@ measurement.
 
 Do not use it in deployments; it exists to keep the optimized engine
 honest.
+
+Like :class:`~repro.datalog.engine.DatalogApp`, construction runs the
+ndlint gate (``Program.ensure_checked``) unless told
+``unsafe_skip_analysis=True`` — the reference evaluator refuses unsafe
+programs too.
 """
 
 from repro.datalog.engine import DatalogApp
@@ -36,6 +41,7 @@ class NaiveDatalogApp(DatalogApp):
                 return
             atom = rule.body[body_pos]
             for candidate in self.store.visible(atom.relation):
+                self.join_candidates += 1
                 extended = atom.match(candidate, current)
                 if extended is not None:
                     support.append(candidate)
@@ -46,11 +52,13 @@ class NaiveDatalogApp(DatalogApp):
         results.sort(
             key=lambda pair: tuple(s.canonical_key() for s in pair[1])
         )
-        return [
-            (bindings, support)
-            for bindings, support in results
-            if all(guard(bindings) for guard in rule.guards)
-        ]
+        kept = []
+        for bindings, support in results:
+            if all(guard(bindings) for guard in rule.guards):
+                kept.append((bindings, support))
+            else:
+                self.guard_prunes += 1
+        return kept
 
     def _group_candidates(self, rule_index, rule, group_key):
         return self.store.visible_set(rule.body[0].relation)

@@ -6,8 +6,10 @@ compiles each rule *once*, at :meth:`Program.add` time, into the static
 schedule that evaluation follows:
 
 * a :class:`JoinPlan` per trigger position — when a tuple of body atom
-  *k*'s relation appears, the plan for trigger *k* orders the remaining
-  body atoms greedily (most-bound-first) and precomputes, for every join
+  *k*'s relation appears, the plan for trigger *k* follows the SIPS
+  annotation computed by :func:`repro.datalog.analysis.sip_join` (greedy
+  most-bound-first atom order, earliest-step guard schedule) and
+  precomputes, for every join
   step, the **index key**: the tuple of argument positions whose values
   are already known when the step runs (constants in the pattern plus
   variables bound by earlier steps). At runtime the step is a hash lookup
@@ -31,26 +33,16 @@ Positions are 0-based over ``(loc,) + terms``: position 0 is the ``@``
 location, position *i* ≥ 1 is ``terms[i-1]``.
 """
 
-from repro.datalog.ast import (
-    AggregateRule, Expr, Var, guard_vars,
+from repro.datalog.analysis import (
+    atom_arity, atom_var_names, bound_positions, rule_sips, sip_join,
+    term_at,
 )
+from repro.datalog.ast import AggregateRule, Var
 
-
-def atom_arity(atom):
-    return 1 + len(atom.terms)
-
-
-def term_at(atom, position):
-    return atom.loc if position == 0 else atom.terms[position - 1]
-
-
-def atom_var_names(atom):
-    """The variable names an atom binds when matched."""
-    return {
-        term.name
-        for term in (atom.loc,) + atom.terms
-        if isinstance(term, Var)
-    }
+__all__ = [
+    "AggPlan", "JoinPlan", "JoinStep", "RulePlan", "compile_rule",
+    "guard_schedule_counts", "atom_arity", "atom_var_names", "term_at",
+]
 
 
 class JoinStep:
@@ -104,19 +96,6 @@ class JoinPlan:
         )
 
 
-def _bound_positions(atom, bound_names):
-    """Positions of *atom* whose value is known given *bound_names*."""
-    positions = []
-    for position in range(atom_arity(atom)):
-        term = term_at(atom, position)
-        if isinstance(term, Var):
-            if term.name in bound_names:
-                positions.append(position)
-        elif not isinstance(term, Expr):
-            positions.append(position)  # a constant in the pattern
-    return tuple(positions)
-
-
 def _key_parts(atom, positions):
     parts = []
     for position in positions:
@@ -128,64 +107,30 @@ def _key_parts(atom, positions):
     return tuple(parts)
 
 
-def _compile_join(rule, trigger_pos):
-    bound = set()
-    if isinstance(rule.body_loc, Var):
-        bound.add(rule.body_loc.name)  # seeded with the node id at runtime
-    bound |= atom_var_names(rule.body[trigger_pos])
+def _compile_join(rule, trigger_pos, sip=None):
+    """Lower one SIPS annotation (:func:`repro.datalog.analysis.sip_join`)
+    into an executable :class:`JoinPlan`.
 
-    pending = [(guard, guard_vars(guard)) for guard in rule.guards]
-
-    def ready_guards():
-        fired = []
-        remaining = []
-        for guard, names in pending:
-            if names is not None and set(names) <= bound:
-                fired.append(guard)
-            else:
-                remaining.append((guard, names))
-        pending[:] = remaining
-        return tuple(fired)
-
-    pre_guards = ready_guards()
+    The analyzer owns the ordering decisions — greedy most-bound-first
+    atoms, earliest-step guard firing, opaque guards on full bindings;
+    this function only materializes the index keys and resolves guard
+    indexes back to the rule's callables.
+    """
+    if sip is None:
+        sip = sip_join(rule, trigger_pos)
+    pre_guards = tuple(rule.guards[index] for index in sip.pre_guards)
     steps = []
-    remaining_atoms = [
-        pos for pos in range(len(rule.body)) if pos != trigger_pos
-    ]
-    while remaining_atoms:
-        # Greedy most-bound-first ordering: the atom with the most known
-        # positions gets the most selective index; ties keep body order.
-        best = max(
-            remaining_atoms,
-            key=lambda pos: (len(_bound_positions(rule.body[pos], bound)),
-                             -pos),
-        )
-        remaining_atoms.remove(best)
-        atom = rule.body[best]
-        positions = _bound_positions(atom, bound)
-        bound |= atom_var_names(atom)
+    for sip_step in sip.steps:
+        atom = rule.body[sip_step.body_pos]
+        positions = bound_positions(atom, sip_step.bound_before)
         steps.append(JoinStep(
-            body_pos=best,
+            body_pos=sip_step.body_pos,
             atom=atom,
             index_positions=positions,
             key_parts=_key_parts(atom, positions),
-            guards=ready_guards(),
+            guards=tuple(rule.guards[index] for index in sip_step.guards),
         ))
-
-    # Opaque guards (and any whose variables never all bind — only possible
-    # for a guard over head-expression inputs, which the old engine would
-    # have KeyError'd on too) run after the final step, on full bindings.
-    leftovers = tuple(guard for guard, _names in pending)
-    if leftovers:
-        if steps:
-            last = steps[-1]
-            steps[-1] = JoinStep(
-                last.body_pos, last.atom, last.index_positions,
-                last.key_parts, last.guards + leftovers,
-            )
-        else:
-            pre_guards = pre_guards + leftovers
-    return JoinPlan(rule, trigger_pos, pre_guards, tuple(steps))
+    return JoinPlan(rule, sip.trigger_pos, pre_guards, tuple(steps))
 
 
 class RulePlan:
@@ -196,10 +141,11 @@ class RulePlan:
 
     __slots__ = ("rule", "joins")
 
-    def __init__(self, rule):
+    def __init__(self, rule, sips=None):
         self.rule = rule
         self.joins = tuple(
-            _compile_join(rule, pos) for pos in range(len(rule.body))
+            _compile_join(rule, pos, sip=None if sips is None else sips[pos])
+            for pos in range(len(rule.body))
         )
 
     def index_requirements(self):
@@ -274,8 +220,41 @@ class AggPlan:
         return {(self.rule.body[0].relation, self.group_positions)}
 
 
-def compile_rule(rule):
-    """Compile *rule* into its plan (RulePlan or AggPlan)."""
+def guard_schedule_counts(program_or_rules):
+    """Static guard-placement counts over every (rule, trigger) schedule.
+
+    ``pre`` counts guards decidable on the trigger bindings alone,
+    ``mid`` guards fired at a join step before the last (pruning partial
+    matches), ``late`` guards that only run on fully bound bodies (the
+    final step, or a single-atom body's trigger). ``pre + mid`` is the
+    planner's static pruning opportunity — benchmarks track it so a
+    scheduling regression (guards drifting to full binding) is caught
+    even when wall time hides it.
+    """
+    rules = getattr(program_or_rules, "rules", program_or_rules)
+    counts = {"pre": 0, "mid": 0, "late": 0}
+    for rule in rules:
+        if isinstance(rule, AggregateRule):
+            continue
+        for join in rule_sips(rule):
+            if join.steps:
+                counts["pre"] += len(join.pre_guards)
+                for step in join.steps[:-1]:
+                    counts["mid"] += len(step.guards)
+                counts["late"] += len(join.steps[-1].guards)
+            else:
+                counts["late"] += len(join.pre_guards)
+    return counts
+
+
+def compile_rule(rule, sips=None):
+    """Compile *rule* into its plan (RulePlan or AggPlan).
+
+    *sips* optionally supplies precomputed per-trigger SIPS annotations
+    (e.g. from a :class:`~repro.datalog.analysis.ProgramAnalysis`); they
+    must validate under :func:`~repro.datalog.analysis.sip_violations`,
+    which the analyzer's binding pass enforces (ND401).
+    """
     if isinstance(rule, AggregateRule):
         return AggPlan(rule)
-    return RulePlan(rule)
+    return RulePlan(rule, sips=sips)

@@ -16,6 +16,24 @@ class ConfigurationError(ReproError):
     """A system or application was mis-assembled (bad rule, bad topology)."""
 
 
+class ParseError(ConfigurationError):
+    """Program text failed to parse; carries the 1-based source location.
+
+    Subclasses :class:`ConfigurationError` so callers that treat "bad
+    program text" generically keep working.
+    """
+
+    def __init__(self, message, line=None, col=None):
+        location = ""
+        if line is not None:
+            location = f" (line {line}" + (
+                f", column {col})" if col is not None else ")"
+            )
+        super().__init__(message + location)
+        self.line = line
+        self.col = col
+
+
 class AuthenticationError(ReproError):
     """A signature or certificate failed verification."""
 

@@ -1,0 +1,103 @@
+"""The benchmark regression gate's engine rules.
+
+The gate's promise (benchmarks/check_regression.py docstring) is that
+only machine-portable metrics are compared: deterministic counters and
+within-run ratios, never raw wall-clock seconds. These tests pin the
+engine extractor and hard checks to that promise — join-candidate
+counters gate at every size, guard-schedule counts gate the planner,
+plan build/analyze seconds are recorded but never become metrics, and
+an indexed engine that enumerates more candidates than the naive scan
+fails outright.
+"""
+
+import importlib.util
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+_spec = importlib.util.spec_from_file_location(
+    "check_regression", REPO_ROOT / "benchmarks" / "check_regression.py")
+check_regression = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_regression)
+
+
+def _payload():
+    return {
+        "benchmark": "engine",
+        "results": [
+            {
+                "workload": "chord", "size": 8,
+                "naive_seconds": 0.2, "indexed_seconds": 0.05,
+                "speedup": 4.0,
+                "indexed_join_candidates": 100,
+                "naive_join_candidates": 400,
+            },
+            {
+                "workload": "bgp", "size": 10,
+                "naive_seconds": 0.01, "indexed_seconds": 0.005,
+                "speedup": 2.0,
+                "indexed_join_candidates": 50,
+                "naive_join_candidates": 60,
+            },
+        ],
+        "plans": [
+            {"program": "chord", "rules": 17,
+             "build_seconds": 0.001, "analyze_seconds": 0.002,
+             "guard_pre": 4, "guard_mid": 5, "guard_late": 16},
+        ],
+    }
+
+
+class TestEngineMetrics:
+    def test_join_candidates_gate_at_every_size(self):
+        metrics = check_regression.engine_metrics(_payload())
+        assert metrics["chord@8.indexed_join_candidates"] == (
+            100, check_regression.LOWER_IS_BETTER)
+        # Below the wall-clock floor the speedup is skipped, but the
+        # deterministic counter still gates.
+        assert "bgp@10.speedup" not in metrics
+        assert metrics["bgp@10.indexed_join_candidates"] == (
+            50, check_regression.LOWER_IS_BETTER)
+
+    def test_guard_schedule_counts_gate(self):
+        metrics = check_regression.engine_metrics(_payload())
+        assert metrics["plans.chord.guard_early"] == (
+            9, check_regression.HIGHER_IS_BETTER)
+        assert metrics["plans.chord.guard_late"] == (
+            16, check_regression.LOWER_IS_BETTER)
+
+    def test_wall_clock_never_becomes_a_metric(self):
+        for key in check_regression.engine_metrics(_payload()):
+            assert "seconds" not in key
+            assert "build" not in key and "analyze" not in key
+
+
+class TestEngineHardChecks:
+    def test_clean_payload_passes(self):
+        assert check_regression.engine_hard_checks(_payload()) == []
+
+    def test_indexed_above_naive_fails(self):
+        payload = _payload()
+        payload["results"][0]["indexed_join_candidates"] = 401
+        failures = check_regression.engine_hard_checks(payload)
+        assert any("chord@8" in f and "401" in f for f in failures)
+
+    def test_missing_counters_fail(self):
+        payload = _payload()
+        del payload["results"][1]["indexed_join_candidates"]
+        failures = check_regression.engine_hard_checks(payload)
+        assert any("bgp@10" in f and "counters" in f for f in failures)
+
+    def test_missing_plans_section_fails(self):
+        payload = _payload()
+        payload["plans"] = []
+        failures = check_regression.engine_hard_checks(payload)
+        assert any("plans" in f for f in failures)
+
+    def test_committed_outputs_satisfy_hard_checks(self):
+        import json
+        for path in (REPO_ROOT / "benchmarks" / "BENCH_engine.json",
+                     REPO_ROOT / "benchmarks" / "baselines"
+                     / "BENCH_engine.json"):
+            payload = json.loads(path.read_text())
+            assert check_regression.engine_hard_checks(payload) == []

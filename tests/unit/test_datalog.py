@@ -412,18 +412,18 @@ class TestSnapshotRestore:
     def test_engine_snapshot_roundtrip(self):
         program = Program([
             Rule("R", Atom("h", X, K), [Atom("b", X, K)]),
-            AggregateRule("A", Atom("best", X, K), [Atom("b", X, Z, K)],
+            AggregateRule("A", Atom("best", X, K), [Atom("c", X, Z, K)],
                           agg_var=K, func="min"),
         ])
         app = DatalogApp("n", program)
         app.handle_insert(Tup("b", "n", 1), 0.0)
-        app.handle_insert(Tup("b", "n", "z", 5), 0.5)
+        app.handle_insert(Tup("c", "n", "z", 5), 0.5)
         snap = app.snapshot()
         fresh = DatalogApp("n", program)
         fresh.restore(snap)
         assert fresh.has_tuple(Tup("h", "n", 1))
         assert fresh.has_tuple(Tup("best", "n", 5))
         # Behavior after restore matches continued execution.
-        a = app.handle_insert(Tup("b", "n", "y", 2), 1.0)
-        b = fresh.handle_insert(Tup("b", "n", "y", 2), 1.0)
+        a = app.handle_insert(Tup("c", "n", "y", 2), 1.0)
+        b = fresh.handle_insert(Tup("c", "n", "y", 2), 1.0)
         assert [repr(o) for o in a] == [repr(o) for o in b]

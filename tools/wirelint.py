@@ -1,0 +1,258 @@
+"""wirelint: static checks for the process-boundary serialization contract.
+
+The wire layer (``repro.snp.wire``) promises two properties that plain
+tests are bad at guarding — both rot silently as code grows, and both
+produce heisenbugs when they do (hash-randomized dicts make the failure
+probabilistic). This lint enforces them over the python AST, no imports:
+
+**WL001 — boundary classes need an explicit wire path.** Every class
+``wire.py`` imports from the library is a candidate to cross the
+executor boundary. Each one must either define ``__reduce__`` /
+``to_wire`` (it carries its own codec) or be constructed inside
+``wire.py`` itself (the module is its codec). A class that merely
+*passes through* via default pickling would drag process-specific state
+— memoized ``hash()`` values, open handles — into worker processes.
+
+**WL002 — no unordered iteration into hashed or signed payloads.**
+Within the ``snp``/``crypto``/serialization modules, the argument of a
+hashing or signing sink (``canonical_bytes``, ``sign``, ``verify``,
+``sha256``/``.update``, Merkle helpers) must not iterate a dict or set
+(``.items()``/``.keys()``/``.values()``, ``set(...)``,
+``frozenset(...)``) unless the iteration is wrapped in ``sorted(...)``.
+Set/dict order is per-process under hash randomization, so an unsorted
+iteration signs a byte string another process cannot reproduce.
+
+Run it over a source tree (CI does ``python tools/wirelint.py src``);
+exits 1 when any violation is found.
+"""
+
+import ast
+import sys
+from pathlib import Path
+
+#: Calls whose arguments become hashed/signed bytes.
+SINK_NAMES = {
+    "canonical_bytes", "sign", "verify", "update",
+    "sha256", "sha1", "sha512", "md5", "blake2b",
+    "MerkleTree", "merkle_root", "leaf_hash", "node_hash",
+}
+
+#: Attribute calls that iterate an unordered container.
+UNORDERED_METHODS = {"items", "keys", "values"}
+
+#: Constructors that yield an unordered container.
+UNORDERED_BUILTINS = {"set", "frozenset"}
+
+#: Directories (relative to the source root) whose modules hash and sign.
+DETERMINISM_SCOPES = ("repro/snp", "repro/crypto", "repro/util")
+
+WIRE_MODULE = "repro/snp/wire.py"
+
+#: Methods that mark a class as carrying its own serialization codec.
+CODEC_METHODS = {"__reduce__", "__reduce_ex__", "to_wire", "__getstate__"}
+
+
+class Violation:
+    __slots__ = ("path", "line", "col", "code", "message")
+
+    def __init__(self, path, line, col, code, message):
+        self.path = path
+        self.line = line
+        self.col = col
+        self.code = code
+        self.message = message
+
+    def format(self):
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.code}: {self.message}")
+
+
+def _callee_name(call):
+    """The last name component of a call's target (``f`` or ``o.f``)."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _parse(path):
+    return ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+
+
+# ------------------------------------------------- WL001: boundary classes
+
+
+def _wire_imported_names(wire_tree):
+    """Names ``wire.py`` imports from within the library."""
+    names = []
+    for node in ast.walk(wire_tree):
+        if isinstance(node, ast.ImportFrom) and node.module \
+                and node.module.split(".")[0] == "repro":
+            for alias in node.names:
+                names.append((alias.asname or alias.name, node.lineno))
+    return names
+
+def _locally_handled_names(wire_tree):
+    """Names wire.py itself constructs (decode path) or subclasses."""
+    handled = set()
+    for node in ast.walk(wire_tree):
+        if isinstance(node, ast.Call):
+            name = _callee_name(node)
+            if name is not None:
+                handled.add(name)
+        elif isinstance(node, ast.ClassDef):
+            for base in node.bases:
+                if isinstance(base, ast.Name):
+                    handled.add(base.id)
+    return handled
+
+
+def _class_codec_index(src_root):
+    """``class name → (path, has codec method)`` over the whole tree."""
+    index = {}
+    for path in sorted(src_root.rglob("*.py")):
+        try:
+            tree = _parse(path)
+        except SyntaxError:
+            continue
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            has_codec = any(
+                isinstance(item, ast.FunctionDef)
+                and item.name in CODEC_METHODS
+                for item in node.body
+            )
+            # First definition wins; duplicate class names across modules
+            # are resolved pessimistically (any codec-less def counts).
+            if node.name not in index or not has_codec:
+                index[node.name] = (path, has_codec)
+    return index
+
+
+def check_boundary_classes(src_root, violations):
+    wire_path = src_root / WIRE_MODULE
+    if not wire_path.exists():
+        return
+    wire_tree = _parse(wire_path)
+    handled = _locally_handled_names(wire_tree)
+    index = _class_codec_index(src_root)
+    for name, lineno in _wire_imported_names(wire_tree):
+        entry = index.get(name)
+        if entry is None:
+            continue  # a function or constant, not a class
+        _defined_in, has_codec = entry
+        if has_codec or name in handled:
+            continue
+        violations.append(Violation(
+            wire_path, lineno, 1, "WL001",
+            f"class '{name}' crosses the executor boundary but defines "
+            "no __reduce__/to_wire and is never constructed in wire.py; "
+            "default pickling would carry process-specific state into "
+            "workers",
+        ))
+
+
+# ------------------------------------------- WL002: unordered iteration
+
+
+def _unordered_uses(node):
+    """(line, col, what) for unordered iterations under *node*, skipping
+    anything wrapped in ``sorted(...)``."""
+    found = []
+
+    def visit(current):
+        if isinstance(current, ast.Call):
+            name = _callee_name(current)
+            if isinstance(current.func, ast.Name) and name == "sorted":
+                return  # sorted(...) restores determinism for its subtree
+            if isinstance(current.func, ast.Attribute) \
+                    and name in UNORDERED_METHODS:
+                found.append((current.lineno, current.col_offset,
+                              f".{name}()"))
+            elif isinstance(current.func, ast.Name) \
+                    and name in UNORDERED_BUILTINS:
+                found.append((current.lineno, current.col_offset,
+                              f"{name}(...)"))
+        for child in ast.iter_child_nodes(current):
+            visit(child)
+
+    visit(node)
+    return found
+
+
+def check_unordered_iteration(path, tree, violations):
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        sink = _callee_name(node)
+        if sink not in SINK_NAMES:
+            continue
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            for line, col, what in _unordered_uses(arg):
+                violations.append(Violation(
+                    path, line, col + 1, "WL002",
+                    f"{what} iterated into '{sink}' without sorted(); "
+                    "set/dict order is per-process, so the hashed or "
+                    "signed bytes are not reproducible",
+                ))
+
+
+def _in_determinism_scope(path, src_root):
+    rel = path.relative_to(src_root).as_posix()
+    return any(rel.startswith(scope) for scope in DETERMINISM_SCOPES)
+
+
+# --------------------------------------------------------------- driver
+
+
+def lint(src_root):
+    src_root = Path(src_root)
+    violations = []
+    check_boundary_classes(src_root, violations)
+    for path in sorted(src_root.rglob("*.py")):
+        if not _in_determinism_scope(path, src_root):
+            continue
+        try:
+            tree = _parse(path)
+        except SyntaxError as exc:
+            violations.append(Violation(
+                path, exc.lineno or 1, exc.offset or 1, "WL000",
+                f"syntax error: {exc.msg}",
+            ))
+            continue
+        check_unordered_iteration(path, tree, violations)
+    # Nested sinks (sign(canonical_bytes(...))) would report the same
+    # iteration once per sink; keep the first per source location.
+    seen = set()
+    unique = []
+    for violation in violations:
+        key = (str(violation.path), violation.line, violation.col,
+               violation.code)
+        if key not in seen:
+            seen.add(key)
+            unique.append(violation)
+    return unique
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv:
+        print("usage: python tools/wirelint.py <src-root>", file=sys.stderr)
+        return 2
+    violations = []
+    for root in argv:
+        violations.extend(lint(root))
+    for violation in violations:
+        print(violation.format())
+    if violations:
+        print(f"wirelint: {len(violations)} violation(s)")
+        return 1
+    print("wirelint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
