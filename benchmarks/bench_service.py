@@ -1,0 +1,235 @@
+"""Service-plane benchmark: audit-as-a-service under concurrent load.
+
+Boots an in-process monitor daemon (real asyncio servers on loopback),
+pushes a Chord deployment's logs over the framed transport, then
+measures:
+
+* **results_match** (hard gate) — every REST client's audit summary is
+  bit-identical to a direct in-process ``QueryProcessor`` audit;
+* **request throughput** — wall-clock requests/second for 1, 4, and 16
+  concurrent REST clients sharing the one daemon (the single qp worker
+  serializes audits; batching should keep the ramp sub-linear, not
+  collapse it);
+* **subscription fan-out** — with N standing subscribers watching the
+  audited vertex, inject a fork at the adversary, push once, and
+  measure push→alert latency per subscriber (every one must be told,
+  within the one push);
+* the daemon's :class:`~repro.metrics.ServiceMeter` counters, the
+  deterministic side of the run (frames, pushes, dedup'd watch
+  evaluations) that ``check_regression.py`` gates against baselines.
+
+``--smoke`` runs chord@8 for CI; the full run uses chord@16 and more
+clients. Wall-clock numbers are reported but never compared across
+machines — the regression gate reads only counters and match flags.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from scenarios import print_table  # noqa: E402
+
+from repro.apps.chord import ChordNetwork  # noqa: E402
+from repro.service import (  # noqa: E402
+    MonitorClient, ServicePusher, start_monitor_thread, tup_spec,
+)
+from repro.snp import Deployment, QueryProcessor  # noqa: E402
+from repro.snp.adversary import ForkingNode  # noqa: E402
+
+OUT_PATH = Path(__file__).parent / "BENCH_service.json"
+
+
+def build_workload(n_nodes, adversary="n3", seed=11, ring_bits=12):
+    """A stabilized chord ring plus one lookup routed *through* the
+    (future) adversary, so the audited vertex's provenance crosses its
+    log (same construction as tools/service_e2e.py)."""
+    dep = Deployment(seed=seed, key_bits=256)
+    net = ChordNetwork(dep, n_nodes=n_nodes, ring_bits=ring_bits,
+                       seed=seed, node_overrides={adversary: ForkingNode})
+    net.bootstrap(neighbors=2)
+    net.stabilize(rounds=2)
+    names = [name for name, _r in net.members]
+    index = names.index(adversary)
+    key = (net.ring_id(names[(index + 1) % len(names)]) - 1) % net.size
+    results = net.lookup(names[index - 1], key, "bench-0")
+    if not results:
+        raise SystemExit("chord lookup produced no result")
+    return dep, net, results[0]
+
+
+def measure_throughput(port, spec, expected, n_clients, queries_each):
+    """N threads, each its own REST client, all released together."""
+    barrier = threading.Barrier(n_clients + 1)
+    mismatches = []
+    errors = []
+
+    def worker():
+        client = MonitorClient("127.0.0.1", port, timeout=120)
+        barrier.wait()
+        for _q in range(queries_each):
+            try:
+                out = client.query(spec)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(repr(exc))
+                return
+            if not out.get("ok") or out["result"] != expected:
+                mismatches.append(out)
+
+    threads = [threading.Thread(target=worker) for _ in range(n_clients)]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for t in threads:
+        t.join(300)
+    wall = time.perf_counter() - started
+    requests = n_clients * queries_each
+    return {
+        "clients": n_clients,
+        "requests": requests,
+        "wall_seconds": round(wall, 4),
+        "requests_per_second": round(requests / wall, 2) if wall else None,
+        "all_match": not mismatches and not errors,
+        "errors": len(errors),
+    }
+
+
+def run_scenario(n_nodes, clients_arms, subscribers, queries_each,
+                 adversary="n3", seed=11):
+    dep, net, target = build_workload(n_nodes, adversary=adversary,
+                                      seed=seed)
+    with QueryProcessor(dep) as qp:
+        qp.refresh()
+        direct = qp.why(target).summary()
+
+    handle = start_monitor_thread(host="127.0.0.1", push_port=0,
+                                  http_port=0)
+    try:
+        daemon = handle.daemon
+        pusher = ServicePusher(dep, "127.0.0.1", daemon.push_port)
+        ack = pusher.push_once()
+        assert ack is not None and not ack["shed"]
+
+        spec = tup_spec(target)
+        client = MonitorClient("127.0.0.1", daemon.http_port, timeout=120)
+        first = client.query(dict(spec, fresh=True))
+        results_match = bool(first.get("ok")) and first["result"] == direct
+
+        throughput = {}
+        for n_clients in clients_arms:
+            arm = measure_throughput(daemon.http_port, spec, direct,
+                                     n_clients, queries_each)
+            throughput[str(n_clients)] = arm
+            results_match = results_match and arm["all_match"]
+
+        streams = [client.subscribe([spec]) for _ in range(subscribers)]
+        for stream in streams:
+            assert stream.next_event(timeout=60)["type"] == "subscribed"
+            stream.events_until(lambda e: e.get("type") == "state",
+                                timeout=60)
+
+        dep.node(adversary).fork_log(keep_upto=3)
+        net.stabilize(rounds=1)
+        pushed_at = time.perf_counter()
+        ack = pusher.push_once()
+        assert ack is not None and not ack["shed"]
+
+        latencies = []
+        alerts_delivered = 0
+        for stream in streams:
+            alert = stream.events_until(
+                lambda e: e.get("type") == "alert", timeout=120)[-1]
+            latencies.append(time.perf_counter() - pushed_at)
+            if (alert["from"] == "green" and alert["to"] == "red"
+                    and adversary in alert["faulty_nodes"]):
+                alerts_delivered += 1
+        for stream in streams:
+            stream.close()
+
+        red = client.query(dict(spec, fresh=True))
+        with QueryProcessor(dep) as qp:
+            qp.refresh()
+            direct_red = qp.why(target).summary()
+        conviction_match = (bool(red.get("ok"))
+                            and red["result"]["verdict"] == "red"
+                            and direct_red["verdict"] == "red"
+                            and red["result"]["faulty_nodes"]
+                            == direct_red["faulty_nodes"])
+
+        pusher.close()
+        meter = daemon.meter.as_dict()
+    finally:
+        handle.stop()
+
+    return {
+        "nodes": n_nodes,
+        "results_match": results_match,
+        "conviction_match": conviction_match,
+        "throughput": throughput,
+        "fanout": {
+            "subscribers": subscribers,
+            "alerts_delivered": alerts_delivered,
+            "mean_latency_seconds": round(statistics.mean(latencies), 4)
+            if latencies else None,
+            "max_latency_seconds": round(max(latencies), 4)
+            if latencies else None,
+        },
+        "pusher": {k: v for k, v in pusher.meter.as_dict().items() if v},
+        "meter": meter,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (chord@8, 16 clients max)")
+    parser.add_argument("--out", type=Path, default=OUT_PATH)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        scenarios = {"chord@8": run_scenario(
+            8, clients_arms=(1, 4, 16), subscribers=8, queries_each=3)}
+    else:
+        scenarios = {"chord@16": run_scenario(
+            16, clients_arms=(1, 4, 16, 32), subscribers=16,
+            queries_each=5)}
+
+    payload = {"mode": "smoke" if args.smoke else "full",
+               "scenarios": scenarios}
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    for name, entry in scenarios.items():
+        print(f"\n{name}: results_match={entry['results_match']} "
+              f"conviction_match={entry['conviction_match']}")
+        rows = [[arm["clients"], arm["requests"], arm["wall_seconds"],
+                 arm["requests_per_second"], arm["all_match"]]
+                for arm in entry["throughput"].values()]
+        print_table(f"{name} REST throughput",
+                    ["clients", "requests", "wall s", "req/s", "match"],
+                    rows)
+        fanout = entry["fanout"]
+        print(f"fan-out: {fanout['alerts_delivered']}/"
+              f"{fanout['subscribers']} subscribers alerted, "
+              f"mean {fanout['mean_latency_seconds']}s "
+              f"max {fanout['max_latency_seconds']}s after push")
+
+    bad = [name for name, entry in scenarios.items()
+           if not (entry["results_match"] and entry["conviction_match"]
+                   and entry["fanout"]["alerts_delivered"]
+                   == entry["fanout"]["subscribers"])]
+    if bad:
+        print(f"FAILED scenarios: {', '.join(bad)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,6 +34,7 @@ numbers.
 
 import argparse
 import json
+import os
 import shutil
 import sys
 from pathlib import Path
@@ -280,11 +281,79 @@ def storage_hard_checks(payload):
     return failures
 
 
+def service_metrics(payload):
+    """Deterministic counters from the service-plane bench. Wall-clock
+    throughput and latency are reported in the JSON but never compared
+    across machines; what gates is push efficiency (bytes the pusher
+    shipped for the fixed workload — a delta regression shows up as a
+    re-shipped log) and that subscription fan-out stayed dedup'd."""
+    out = {}
+    for name, entry in payload.get("scenarios", {}).items():
+        pusher = entry.get("pusher", {})
+        if "bytes_sent" in pusher:
+            out[f"{name}.pusher.bytes_sent"] = (pusher["bytes_sent"],
+                                                LOWER_IS_BETTER)
+        meter = entry.get("meter", {})
+        for field in ("pushes_shed", "push_retries", "alerts_dropped"):
+            if field in meter:
+                out[f"{name}.meter.{field}"] = (meter[field],
+                                                LOWER_IS_BETTER)
+    return out
+
+
+def service_hard_checks(payload):
+    """Zero-tolerance checks on the service bench's current output: the
+    REST audits must be bit-identical to the direct ones, the injected
+    adversary must be convicted through the service exactly as directly,
+    and every standing subscriber must have received the green→red
+    alert."""
+    failures = []
+    scenarios = payload.get("scenarios", {})
+    if not scenarios:
+        failures.append("BENCH_service.json carries no scenarios "
+                        "(the service gate would be vacuous)")
+    for name, entry in scenarios.items():
+        if not entry.get("results_match", False):
+            failures.append(
+                f"{name}: service audits diverged from the direct "
+                "in-process audit (results_match is false)"
+            )
+        if not entry.get("conviction_match", False):
+            failures.append(
+                f"{name}: the service audit did not convict the "
+                "injected adversary exactly like the direct audit"
+            )
+        fanout = entry.get("fanout", {})
+        subscribers = fanout.get("subscribers", 0)
+        if subscribers <= 0:
+            failures.append(f"{name}: fan-out phase ran no subscribers")
+        elif fanout.get("alerts_delivered", 0) != subscribers:
+            failures.append(
+                f"{name}: only {fanout.get('alerts_delivered', 0)} of "
+                f"{subscribers} subscribers received the downgrade alert"
+            )
+        meter = entry.get("meter", {})
+        if meter.get("pushes_accepted", 0) < 2:
+            failures.append(
+                f"{name}: daemon accepted "
+                f"{meter.get('pushes_accepted', 0)} pushes (needs the "
+                "clean push and the post-fork push)"
+            )
+        for field in ("corrupt_frames", "garbage_bytes"):
+            if meter.get(field, 0):
+                failures.append(
+                    f"{name}: transport damage on loopback "
+                    f"({field}={meter[field]})"
+                )
+    return failures
+
+
 BENCHMARKS = {
     "BENCH_engine.json": (engine_metrics, None),
     "BENCH_audit.json": (audit_metrics, None),
     "BENCH_parallel.json": (parallel_metrics, parallel_hard_checks),
     "BENCH_storage.json": (storage_metrics, storage_hard_checks),
+    "BENCH_service.json": (service_metrics, service_hard_checks),
 }
 
 
@@ -321,6 +390,36 @@ def compare(filename, current, baseline, threshold):
     return failures
 
 
+def write_step_summary(reports, threshold):
+    """Append per-suite verdicts and metric tables to the file named by
+    ``$GITHUB_STEP_SUMMARY`` (the job-summary markdown GitHub renders).
+    A no-op outside Actions."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    lines = ["## Benchmark regression gate",
+             f"Tolerance: ±{threshold:.0%} per metric "
+             "(counters and within-run ratios only; wall-clock is "
+             "never compared across machines).", ""]
+    for filename, report in reports.items():
+        verdict = "✅ pass" if not report["failures"] else "❌ **FAIL**"
+        lines.append(f"### `{filename}` — {verdict}")
+        rows = report.get("rows") or []
+        if rows:
+            lines.append("")
+            lines.append("| metric | current | baseline | better |")
+            lines.append("|---|---:|---:|---|")
+            for metric, current, base, direction in rows:
+                cur = "—" if current is None else f"{current:g}"
+                lines.append(f"| `{metric}` | {cur} | {base:g} "
+                             f"| {direction} |")
+        for failure in report["failures"]:
+            lines.append(f"- ⚠️ {failure}")
+        lines.append("")
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n")
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--current-dir", type=Path, default=BENCH_DIR,
@@ -336,33 +435,47 @@ def main(argv=None):
     args = parser.parse_args(argv)
 
     failures = []
+    reports = {}
     for filename, (extract, hard_checks) in BENCHMARKS.items():
+        report = {"failures": [], "rows": []}
+        reports[filename] = report
         current_path = args.current_dir / filename
         baseline_path = args.baseline_dir / filename
         if not current_path.exists():
-            failures.append(f"{filename}: no current output at "
-                            f"{current_path} (did the smoke run?)")
+            report["failures"].append(
+                f"{filename}: no current output at "
+                f"{current_path} (did the smoke run?)")
+            failures.extend(report["failures"])
             continue
         payload = json.loads(current_path.read_text())
         if hard_checks is not None:
-            failures.extend(hard_checks(payload))
+            report["failures"].extend(hard_checks(payload))
         if args.update_baselines:
             args.baseline_dir.mkdir(parents=True, exist_ok=True)
             shutil.copyfile(current_path, baseline_path)
             print(f"baseline updated: {baseline_path}")
+            failures.extend(report["failures"])
             continue
         if not baseline_path.exists():
-            failures.append(f"{filename}: no committed baseline at "
-                            f"{baseline_path}")
+            report["failures"].append(
+                f"{filename}: no committed baseline at {baseline_path}")
+            failures.extend(report["failures"])
             continue
         baseline = extract(json.loads(baseline_path.read_text()))
         current = extract(payload)
+        report["rows"] = [
+            (key, current.get(key, (None, None))[0], base_value, direction)
+            for key, (base_value, direction) in sorted(baseline.items())
+        ]
         file_failures = compare(filename, current, baseline,
                                 args.threshold)
-        failures.extend(file_failures)
+        report["failures"].extend(file_failures)
+        failures.extend(report["failures"])
         if not file_failures:
             print(f"{filename}: {len(baseline)} metrics within "
                   f"{args.threshold:.0%} of baseline")
+
+    write_step_summary(reports, args.threshold)
 
     if failures:
         print("\nREGRESSION GATE FAILED:", file=sys.stderr)

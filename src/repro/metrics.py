@@ -372,3 +372,48 @@ class QueryStats:
 
     def as_dict(self):
         return dict(vars(self))
+
+
+class ServiceMeter:
+    """Counters for the service plane (transport, daemon, pusher).
+
+    One meter lives on the monitor daemon and one on each pusher; both
+    sides expose it through ``/status`` and the push acks, so a load
+    test can read the shedding ladder directly: ``pushes_shed`` and
+    ``poll_fallbacks`` climbing while ``alerts_dropped`` stays zero is
+    the intended degradation order (DESIGN.md, "Service plane").
+    """
+
+    FIELDS = (
+        # framing / transport
+        "frames_sent", "frames_received", "bytes_sent", "bytes_received",
+        "garbage_bytes", "corrupt_frames", "oversized_frames",
+        # node → daemon pushes
+        "pushes_sent", "pushes_accepted", "pushes_shed", "push_retries",
+        "push_failures", "poll_fallbacks",
+        # daemon query plane
+        "refresh_batches", "requests_batched", "queries_served",
+        "refreshes_served", "subscriptions_opened", "watch_evaluations",
+        "alerts_emitted", "alerts_dropped",
+    )
+
+    def __init__(self):
+        for field in self.FIELDS:
+            setattr(self, field, 0)
+
+    def absorb_decoder(self, decoder):
+        """Fold a :class:`~repro.service.framing.FrameDecoder`'s damage
+        counters in (called when a connection closes)."""
+        self.garbage_bytes += decoder.garbage_bytes
+        self.corrupt_frames += decoder.corrupt_frames
+        self.oversized_frames += decoder.oversized_frames
+        decoder.garbage_bytes = 0
+        decoder.corrupt_frames = 0
+        decoder.oversized_frames = 0
+
+    def as_dict(self):
+        return {field: getattr(self, field) for field in self.FIELDS}
+
+    def __repr__(self):
+        busy = {k: v for k, v in self.as_dict().items() if v}
+        return f"ServiceMeter({busy!r})"

@@ -1,0 +1,13 @@
+"""``python -m repro.service`` runs the monitor daemon.
+
+A dedicated entry module (rather than ``-m repro.service.monitor``)
+because the package ``__init__`` imports :mod:`repro.service.monitor`,
+and runpy warns when asked to re-execute an already-imported module.
+"""
+
+import sys
+
+from repro.service.monitor import main
+
+if __name__ == "__main__":
+    sys.exit(main())

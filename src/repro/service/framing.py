@@ -1,0 +1,224 @@
+"""Framed message transport for the service plane.
+
+A frame is ``MAGIC | length | header-crc | payload-crc | payload`` where
+*payload* is a pickle of objects governed by the PR 4 wire contract
+(value objects rebuild through their constructors, so an unpickled
+``Tup``/``Msg`` is native to the receiving process — see
+:mod:`repro.snp.wire`).
+
+The header carries its *own* CRC (over magic + length) so a damaged
+length field is detected the moment the header arrives — the decoder
+never waits for, or skips, bytes a lying length claims. The payload CRC
+then guards the body.
+
+The decoder is an incremental state machine fed arbitrary byte chunks:
+frames may arrive split across any number of reads, glued together, or
+surrounded by garbage. Resynchronization scans for the magic marker, so
+a corrupted or truncated frame can cost at most itself — a later
+well-formed frame is always recovered intact. Defenses, in order:
+
+* **header CRC mismatch**: the magic is dropped and scanning resumes at
+  the next byte;
+* **oversized length** (header intact, > ``max_frame_bytes``): counted
+  and resynchronized past the magic — a hostile length cannot make the
+  decoder buffer unbounded data;
+* **payload CRC mismatch / unpicklable payload**: the frame is consumed
+  whole and counted, the stream continues;
+* **module allow-list**: payload unpickling only resolves classes from
+  ``repro.*`` and the stdlib value modules — a frame cannot name an
+  arbitrary importable as a gadget.
+"""
+
+import io
+import pickle
+import struct
+import zlib
+from collections import deque
+
+from repro.util.errors import ReproError
+
+MAGIC = b"SNPF"
+# magic, payload length, crc32(magic+length), crc32(payload)
+_HEADER = struct.Struct(">4sIII")
+_HEADER_PREFIX = struct.Struct(">4sI")
+HEADER_BYTES = _HEADER.size
+
+#: Upper bound on a single frame's payload. Full chord@50 log pushes are
+#: a few hundred KB; 32 MiB leaves two orders of magnitude of headroom
+#: while keeping a hostile length field from reserving real memory.
+MAX_FRAME_BYTES = 32 * 1024 * 1024
+
+
+class FramingError(ReproError):
+    """A frame could not be encoded (payload too large / unpicklable)."""
+
+
+_ALLOWED_MODULES = ("builtins", "collections", "copyreg", "datetime")
+
+
+class _RestrictedUnpickler(pickle.Unpickler):
+    """Resolve only classes the wire contract sanctions."""
+
+    def find_class(self, module, name):
+        root = module.split(".", 1)[0]
+        if root == "repro" or module in _ALLOWED_MODULES:
+            return super().find_class(module, name)
+        raise pickle.UnpicklingError(
+            f"frame payload names {module}.{name}, outside the wire "
+            "contract's allow-list"
+        )
+
+
+def _loads(data):
+    return _RestrictedUnpickler(io.BytesIO(data)).load()
+
+
+def encode_frame(obj, max_frame_bytes=MAX_FRAME_BYTES):
+    """Serialize *obj* as one frame (header + pickled payload)."""
+    try:
+        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise FramingError(f"frame payload is not picklable: {exc}") from exc
+    if len(payload) > max_frame_bytes:
+        raise FramingError(
+            f"frame payload is {len(payload)} bytes, above the "
+            f"{max_frame_bytes}-byte frame bound"
+        )
+    prefix = _HEADER_PREFIX.pack(MAGIC, len(payload))
+    return (prefix + struct.pack(">II", zlib.crc32(prefix),
+                                 zlib.crc32(payload)) + payload)
+
+
+class FrameDecoder:
+    """Incremental frame decoder with garbage resynchronization.
+
+    Feed it byte chunks as they arrive; it returns each fully decoded
+    payload exactly once. Counters (``garbage_bytes``, ``corrupt_frames``,
+    ``oversized_frames``, ``frames_decoded``) let the connection owner
+    meter hostile or damaged input without tearing the stream down.
+    """
+
+    def __init__(self, max_frame_bytes=MAX_FRAME_BYTES):
+        self.max_frame_bytes = max_frame_bytes
+        self._buf = bytearray()
+        # Frames decoded but not yet consumed by recv_frame (one read
+        # may complete several frames).
+        self._pending = deque()
+        self.frames_decoded = 0
+        self.garbage_bytes = 0
+        self.corrupt_frames = 0
+        self.oversized_frames = 0
+
+    def pending_bytes(self):
+        """Bytes buffered awaiting a complete frame (bounded by
+        ``HEADER_BYTES + max_frame_bytes`` plus one read chunk)."""
+        return len(self._buf)
+
+    def feed(self, data):
+        """Consume *data*, returning the list of payloads completed by it."""
+        self._buf.extend(data)
+        out = []
+        while True:
+            status, payload = self._step()
+            if status == "wait":
+                return out
+            if status == "frame":
+                out.append(payload)
+
+    def _resync(self, skip):
+        """Drop *skip* bytes as garbage, then align on the next magic."""
+        if skip:
+            del self._buf[:skip]
+            self.garbage_bytes += skip
+        idx = self._buf.find(MAGIC)
+        if idx == -1:
+            # Keep a potential magic prefix at the tail (a frame split
+            # inside its own marker), discard the rest.
+            keep = 0
+            for size in range(min(len(MAGIC) - 1, len(self._buf)), 0, -1):
+                if self._buf[-size:] == MAGIC[:size]:
+                    keep = size
+                    break
+            dropped = len(self._buf) - keep
+            if dropped:
+                self.garbage_bytes += dropped
+                del self._buf[:dropped]
+        elif idx:
+            self.garbage_bytes += idx
+            del self._buf[:idx]
+
+    def _step(self):
+        self._resync(0)
+        if len(self._buf) < HEADER_BYTES:
+            return "wait", None
+        _magic, length, header_crc, payload_crc = _HEADER.unpack_from(
+            self._buf)
+        if zlib.crc32(self._buf[:_HEADER_PREFIX.size]) != header_crc:
+            # Damaged length field (or garbage that aliased the magic):
+            # detected before a single payload byte is trusted.
+            self.corrupt_frames += 1
+            self._resync(len(MAGIC))
+            return "skip", None
+        if length > self.max_frame_bytes:
+            self.oversized_frames += 1
+            self._resync(len(MAGIC))
+            return "skip", None
+        end = HEADER_BYTES + length
+        if len(self._buf) < end:
+            return "wait", None
+        payload = bytes(self._buf[HEADER_BYTES:end])
+        if zlib.crc32(payload) != payload_crc:
+            self.corrupt_frames += 1
+            self._resync(len(MAGIC))
+            return "skip", None
+        del self._buf[:end]
+        try:
+            obj = _loads(payload)
+        except Exception:
+            self.corrupt_frames += 1
+            return "skip", None
+        self.frames_decoded += 1
+        return "frame", obj
+
+
+# ----------------------------------------------------- blocking sockets
+
+def send_frame(sock, obj, max_frame_bytes=MAX_FRAME_BYTES):
+    """Encode *obj* and send it whole over a blocking socket."""
+    sock.sendall(encode_frame(obj, max_frame_bytes))
+
+
+def recv_frame(sock, decoder, chunk_bytes=65536):
+    """Block until *decoder* yields one frame from *sock*.
+
+    Returns the payload, or ``None`` on orderly EOF. Socket timeouts
+    propagate to the caller (the pusher's retry loop owns them). Extra
+    frames completed by the same read are queued on the decoder for the
+    next call.
+    """
+    while True:
+        if decoder._pending:
+            return decoder._pending.popleft()
+        data = sock.recv(chunk_bytes)
+        if not data:
+            return None
+        decoder._pending.extend(decoder.feed(data))
+
+
+# ------------------------------------------------------- asyncio streams
+
+async def write_frame(writer, obj, max_frame_bytes=MAX_FRAME_BYTES):
+    """Write one frame and drain — the per-connection backpressure point:
+    a slow reader stalls this coroutine, not the daemon's memory."""
+    writer.write(encode_frame(obj, max_frame_bytes))
+    await writer.drain()
+
+
+async def read_frames(reader, decoder, chunk_bytes=65536):
+    """Async-iterate decoded payloads until EOF."""
+    while True:
+        data = await reader.read(chunk_bytes)
+        if not data:
+            return
+        for frame in decoder.feed(data):
+            yield frame

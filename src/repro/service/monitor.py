@@ -1,0 +1,790 @@
+"""The monitor daemon: audit-as-a-service.
+
+Nodes *push* framed log/evidence deltas (see :mod:`repro.service.push`)
+instead of being polled; the daemon accumulates them in a
+deployment-shaped evidence store (:class:`MonitorState`) and serves one
+shared :class:`~repro.snp.query.QueryProcessor` to many concurrent REST
+clients (:mod:`repro.service.server`). Because the store satisfies the
+same retrieve/evidence API a live :class:`~repro.snp.deployment.Deployment`
+does, the unmodified verification pipeline — chain hashes, replay,
+consistency checks, retention faults — runs against pushed data and
+reaches verdicts *bit-identical* to a direct in-process audit of the
+same run (the service e2e gate).
+
+Service-under-load behavior, in degradation order:
+
+1. **backpressure** — every frame write drains the asyncio transport, so
+   a slow peer stalls its own connection, not the daemon's memory;
+2. **batching** — refresh requests arriving while a pass is running are
+   coalesced into the *next* single pass (one ``qp.refresh()`` serves
+   every waiter);
+3. **shedding** — pushes beyond ``ingest_limit`` in-flight applications
+   are acked ``shed`` without being stored; the pusher keeps its delta
+   and re-sends on its next cadence tick (the poll fallback) — bounded
+   queues, never OOM;
+4. **subscription lag** — per-subscriber event queues are bounded;
+   overflow drops the *oldest* alert and marks the stream lagged.
+
+All `QueryProcessor` access — including ingest, which mutates the store
+the processor reads — is serialized through a single worker thread, so
+the event loop never blocks on crypto/replay and the store needs no
+locking.
+"""
+
+import argparse
+import asyncio
+import json
+import signal
+import sys
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.metrics import ServiceMeter
+from repro.model import Tup
+from repro.service.framing import (
+    FrameDecoder, MAX_FRAME_BYTES, encode_frame, read_frames,
+)
+from repro.snp.deployment import Maintainer
+from repro.snp.query import QueryError, QueryProcessor
+from repro.snp.snoopy import (
+    RetrieveResponse, merge_mirror_responses, response_can_seed_rebuild,
+    suffix_of_response,
+)
+
+
+def _head_index(response):
+    """Index of the last entry a response covers (its anchor index when
+    empty)."""
+    return response.start_index + len(response.entries) - 1
+
+
+def _entry_hash_at(response, index):
+    """The chain hash of entry *index* as this response attests it, or
+    ``None`` when *index* is outside the response's attested range. The
+    anchor (``start_index - 1``) is attested by ``start_hash``."""
+    if index == response.start_index - 1:
+        return response.start_hash
+    if response.start_index <= index <= _head_index(response):
+        return response.entries[index - response.start_index].entry_hash
+    return None
+
+
+def _responses_conflict(a, b):
+    """Whether two stored responses attest *different* chains: some index
+    both cover carries different hashes. Overlapping copies of one honest
+    log always agree (the chain hash is cumulative); a fork or a
+    recomputed tampered chain disagrees at every shared index from the
+    divergence point on."""
+    lo = max(a.start_index - 1, b.start_index - 1)
+    hi = min(_head_index(a), _head_index(b))
+    if lo > hi:
+        return False
+    return _entry_hash_at(a, hi) != _entry_hash_at(b, hi)
+
+
+class MonitorNodeProxy:
+    """The daemon's stand-in for one pushed node.
+
+    It stores **two** responses: ``merged``, the contiguous
+    rebuild-seeding copy grown by :func:`merge_mirror_responses` (what
+    cold builds replay), and ``latest``, the node's most recent push
+    *verbatim* — kept even when the merge rejected it. The distinction is
+    what makes daemon-side audits convict exactly like direct ones: a
+    forked node's push fails to splice (its ``start_hash`` contradicts
+    the stored chain), and serving that rejected response to the querier
+    hands it precisely the evidence a direct ``retrieve`` would have —
+    the merge must never launder a fork into silence.
+    """
+
+    def __init__(self, node_id):
+        self.node_id = node_id
+        self.merged = None
+        self.latest = None
+        # peer -> [Authenticator]: evidence this node holds about others,
+        # append-only (the pusher ships cursored deltas).
+        self.received_auths = {}
+
+    # ------------------------------------------------------------ ingest
+
+    def ingest(self, response):
+        """Absorb one pushed response; returns the stored head index the
+        ack reports (what the next delta should anchor on)."""
+        if response is not None:
+            self.latest = response
+            merged = merge_mirror_responses(self.merged, response)
+            if merged is not None:
+                self.merged = merged
+        return self.stored_head()
+
+    def ingest_auths(self, peer, auths):
+        self.received_auths.setdefault(peer, []).extend(auths)
+
+    def stored_head(self):
+        return 0 if self.merged is None else _head_index(self.merged)
+
+    # ----------------------------------------------------- querier-facing
+
+    def authenticators_about(self, peer, since=0):
+        held = self.received_auths.get(peer, ())
+        return list(held[since:]) if since else list(held)
+
+    def retrieve(self, upto_index=None, from_checkpoint=False,
+                 since_index=None):
+        """Serve a querier from pushed data, mimicking
+        :meth:`~repro.snp.snoopy.SNooPyNode.retrieve` on the node's
+        *claimed* log. The daemon never adjudicates: when the fresh push
+        contradicts the stored chain it relays the push and lets the
+        querier's verification (or its harvested old authenticators)
+        convict — exactly the evidence path of a direct audit.
+        """
+        merged, latest = self.merged, self.latest
+        if merged is None and latest is None:
+            return None
+        if since_index is not None:
+            response = self._retrieve_delta(since_index)
+            if response is not None:
+                return response
+        return self._retrieve_full()
+
+    def _retrieve_delta(self, h):
+        """The continuation after entry *h*, or ``None`` to fall back to
+        a full response (mirroring the origin's own fallback when it
+        cannot anchor there)."""
+        merged, latest = self.merged, self.latest
+        # Freshest first: a push that extends past h and can anchor there
+        # serves the delta even before it is mergeable (e.g. a re-push
+        # overlapping a lost ack).
+        for source in (latest, merged):
+            if source is None:
+                continue
+            if _entry_hash_at(source, h) is not None and _head_index(source) > h:
+                return suffix_of_response(source, h)
+        if merged is None or _head_index(merged) != h:
+            return None
+        # The auditor is at the stored head. If the node's last push
+        # contradicts the stored chain (a fork or recomputed tampering),
+        # relay it raw: anchored at h+1 it feeds delta verification, any
+        # other shape triggers the querier's full-verify fallback — both
+        # convict. A push that merely *agrees* with what is stored (a
+        # redundant re-push) is old news, not a contradiction.
+        if latest is not None and _responses_conflict(latest, merged):
+            return latest
+        # Nothing new: confirm the head with the stored authenticator,
+        # as the origin's empty delta response would.
+        anchor = _entry_hash_at(merged, h)
+        return RetrieveResponse(
+            node=self.node_id, entries=[], start_index=h + 1,
+            start_hash=anchor, head_auth=merged.head_auth, checkpoint=None,
+        )
+
+    def _retrieve_full(self):
+        """A response that can seed a full verify+replay."""
+        merged, latest = self.merged, self.latest
+        if latest is None:
+            return merged
+        if merged is None:
+            return latest
+        if _responses_conflict(latest, merged):
+            # The node's current claim contradicts stored history; serve
+            # the claim when it could seed a build (the querier's
+            # consistency check then convicts the equivocation against
+            # harvested old authenticators), else the stored copy.
+            return latest if response_can_seed_rebuild(latest) else merged
+        if response_can_seed_rebuild(latest) \
+                and _head_index(latest) > _head_index(merged):
+            return latest
+        return merged
+
+
+class MonitorState:
+    """A deployment-shaped evidence store fed by pushes.
+
+    Implements the full deployment API the query pipeline consumes —
+    ``nodes`` (of :class:`MonitorNodeProxy`), ``public_key_of``,
+    ``app_factories``, ``effective_t_prop``, ``maintainer``,
+    ``collect_authenticators_about_since``, retention floors/faults,
+    ``find_mirror`` — so :class:`~repro.snp.query.QueryProcessor` runs
+    against it unchanged.
+    """
+
+    def __init__(self):
+        self.nodes = {}
+        self.app_factories = {}
+        self.maintainer = Maintainer()
+        self.query_transport = None
+        self.retention_floors = {}
+        self.hello = None
+        self._public_keys = {}
+        self._t_prop = 0.0
+        self._alarm_count = 0
+        self._fault_count = 0
+        self.last_push_seq = None
+        self.pushed_now = 0.0
+
+    # ------------------------------------------------------------ ingest
+
+    def ingest_hello(self, msg):
+        """Adopt a deployment's identity material: node ids, public keys
+        (as ``(n, e)`` pairs, rebuilt locally like
+        :meth:`~repro.snp.wire.BuildContext.from_wire` does), app wire
+        specs, and the replay Tprop bound."""
+        from repro.crypto.rsa import RsaKeyPair
+        from repro.apps import factory_from_spec
+        self.hello = {"deployment": msg.get("deployment")}
+        self._t_prop = float(msg["t_prop"])
+        for node_id, info in msg["nodes"].items():
+            if node_id not in self.nodes:
+                self.nodes[node_id] = MonitorNodeProxy(node_id)
+            n, e = info["key"]
+            self._public_keys[node_id] = RsaKeyPair(n, e)
+            spec = info.get("app")
+            if spec is not None:
+                self.app_factories[node_id] = factory_from_spec(spec)
+
+    def ingest_push(self, msg):
+        """Absorb one push; returns per-node stored heads for the ack."""
+        heads = {}
+        for node_id, part in msg["nodes"].items():
+            proxy = self.nodes.get(node_id)
+            if proxy is None:
+                proxy = self.nodes[node_id] = MonitorNodeProxy(node_id)
+            heads[node_id] = proxy.ingest(part.get("response"))
+            for peer, auths in part.get("auths", {}).items():
+                proxy.ingest_auths(peer, auths)
+        # Maintainer streams are append-only on the deployment; the push
+        # carries the suffix past what this daemon acked.
+        for alarm in msg.get("alarms", ()):
+            self.maintainer.notify_missing_ack(alarm)
+            self._alarm_count += 1
+        for fault in msg.get("faults", ()):
+            self.maintainer.retention_faults.append(fault)
+            self._fault_count += 1
+        self.retention_floors.update(msg.get("floors", {}))
+        self.last_push_seq = msg.get("seq")
+        self.pushed_now = msg.get("now", self.pushed_now)
+        return heads
+
+    def ingest_cursors(self):
+        """Append-only stream positions acked back to the pusher."""
+        return {"alarms": self._alarm_count, "faults": self._fault_count}
+
+    def stored_heads(self):
+        return {n: p.stored_head() for n, p in self.nodes.items()}
+
+    # ----------------------------------------------- deployment interface
+
+    def public_key_of(self, node_id):
+        return self._public_keys[node_id]
+
+    def effective_t_prop(self):
+        return self._t_prop
+
+    def find_mirror(self, origin, since_index=None):
+        # The proxies themselves are the mirror plane; there is no
+        # second-tier replica to fall back to.
+        return None
+
+    def collect_authenticators_about(self, target):
+        return self.collect_authenticators_about_since(target, None)[0]
+
+    def collect_authenticators_about_since(self, target, cursor):
+        cursor = dict(cursor) if cursor else {}
+        out = []
+        for node in self.nodes.values():
+            if node.node_id == target:
+                continue
+            since = cursor.get(node.node_id, 0)
+            fresh = node.authenticators_about(target, since=since)
+            out.extend(fresh)
+            cursor[node.node_id] = since + len(fresh)
+        return out, cursor
+
+    def advertised_floor_of(self, node):
+        advert = self.retention_floors.get(node)
+        return advert.floor_index if advert is not None else 0
+
+    def retention_fault_of(self, node):
+        return self.maintainer.retention_fault_of(node)
+
+
+_VERDICT_RANK = {"pending": 0, "green": 0, "yellow": 1, "red": 2}
+
+
+class Subscription:
+    """One subscriber's standing watches plus its bounded event queue."""
+
+    def __init__(self, sid, watches, queue_limit):
+        self.sid = sid
+        self.watches = watches          # list of watch-spec dicts
+        self.keys = [watch_key(w) for w in watches]
+        self.queue = asyncio.Queue(maxsize=queue_limit)
+        self.last = {}                  # watch key -> last verdict
+        self.lagged = False
+        self.closed = False
+
+
+def watch_key(spec):
+    """Canonical identity of a watch/query spec (used to batch identical
+    watches across subscribers into one evaluation per epoch)."""
+    return (
+        spec["relation"], spec["loc"], tuple(spec.get("args", ())),
+        spec.get("node"), spec.get("at"), spec.get("scope"),
+        spec.get("direction", "why"),
+    )
+
+
+def _spec_tup(spec):
+    def revive(arg):
+        return tuple(revive(a) for a in arg) if isinstance(arg, list) else arg
+    return Tup(spec["relation"], spec["loc"],
+               *[revive(a) for a in spec.get("args", ())])
+
+
+class MonitorDaemon:
+    """The asyncio monitor daemon: push ingest + REST front end around
+    one shared :class:`QueryProcessor`."""
+
+    def __init__(self, host="127.0.0.1", push_port=0, http_port=0,
+                 executor=None, ingest_limit=64, subscriber_queue_limit=256,
+                 max_frame_bytes=MAX_FRAME_BYTES, verify_embedded=None):
+        self.host = host
+        self.push_port = push_port
+        self.http_port = http_port
+        self.state = MonitorState()
+        self.meter = ServiceMeter()
+        self.max_frame_bytes = max_frame_bytes
+        self.ingest_limit = ingest_limit
+        self.subscriber_queue_limit = subscriber_queue_limit
+        mq_kwargs = {}
+        if verify_embedded is not None:
+            mq_kwargs["verify_embedded_signatures"] = verify_embedded
+        self.qp = QueryProcessor(self.state, executor=executor, **mq_kwargs)
+        # One worker serializes every touch of state+qp: ingest mutates
+        # what queries read, and MicroQuerier itself is not thread-safe.
+        self._qp_pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="snp-monitor-qp")
+        self._inflight_pushes = 0
+        self._subs = {}
+        self._next_sid = 1
+        self._refresh_needed = None     # asyncio.Event, bound to the loop
+        self._refresh_waiters = []
+        self._watch_state = {}          # watch key -> last outcome
+        self._servers = []
+        self._conn_tasks = set()        # live connection handler tasks
+        self._loop = None
+        self._stopped = None
+
+    # -------------------------------------------------------- lifecycle
+
+    async def start(self):
+        """Bind both listeners and start the refresh worker. Sets
+        ``push_port`` / ``http_port`` to the bound ports."""
+        from repro.service.server import handle_http
+        self._loop = asyncio.get_running_loop()
+        self._refresh_needed = asyncio.Event()
+        self._stopped = asyncio.Event()
+        push_srv = await asyncio.start_server(
+            self._track(self._handle_push_conn), self.host, self.push_port)
+        http_srv = await asyncio.start_server(
+            self._track(lambda r, w: handle_http(self, r, w)),
+            self.host, self.http_port)
+        self._servers = [push_srv, http_srv]
+        self.push_port = push_srv.sockets[0].getsockname()[1]
+        self.http_port = http_srv.sockets[0].getsockname()[1]
+        self._refresh_task = asyncio.ensure_future(self._refresh_worker())
+        return self
+
+    def _track(self, handler):
+        """Wrap a connection handler so stop() can cancel live
+        connections (standing subscriptions would otherwise outlive the
+        servers)."""
+        async def tracked(reader, writer):
+            task = asyncio.current_task()
+            self._conn_tasks.add(task)
+            try:
+                await handler(reader, writer)
+            except asyncio.CancelledError:
+                # stop() cancelled us; finish normally so the stream
+                # machinery's done-callback doesn't log the cancel.
+                # (uncancel() is 3.11+; earlier loops accept a plain
+                # return after catching the cancel.)
+                uncancel = getattr(task, "uncancel", None)
+                if uncancel is not None:
+                    uncancel()
+            finally:
+                self._conn_tasks.discard(task)
+        return tracked
+
+    async def stop(self):
+        for server in self._servers:
+            server.close()
+            await server.wait_closed()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        self._refresh_task.cancel()
+        try:
+            await self._refresh_task
+        except asyncio.CancelledError:
+            pass
+        for sub in list(self._subs.values()):
+            sub.closed = True
+        self._qp_pool.shutdown(wait=True)
+        self.qp.close()
+        if self._stopped is not None:
+            self._stopped.set()
+
+    async def serve_forever(self):
+        await self._stopped.wait()
+
+    # ------------------------------------------------------- push ingest
+
+    async def _handle_push_conn(self, reader, writer):
+        decoder = FrameDecoder(self.max_frame_bytes)
+        try:
+            async for msg in read_frames(reader, decoder):
+                self.meter.frames_received += 1
+                if not isinstance(msg, dict) or "type" not in msg:
+                    self.meter.corrupt_frames += 1
+                    continue
+                reply = await self._dispatch_push(msg)
+                if reply is not None:
+                    data = encode_frame(reply, self.max_frame_bytes)
+                    self.meter.frames_sent += 1
+                    self.meter.bytes_sent += len(data)
+                    writer.write(data)
+                    # Backpressure: a pusher that stops reading acks
+                    # stalls here, not in daemon memory.
+                    await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self.meter.absorb_decoder(decoder)
+            try:
+                writer.close()
+            except (ConnectionError, RuntimeError):  # pragma: no cover
+                pass
+
+    async def _dispatch_push(self, msg):
+        mtype = msg["type"]
+        if mtype == "hello":
+            await self._loop.run_in_executor(
+                self._qp_pool, self.state.ingest_hello, msg)
+            return {"type": "hello-ack",
+                    "heads": await self._in_pool(self.state.stored_heads),
+                    "cursors": self.state.ingest_cursors()}
+        if mtype == "push":
+            if self._inflight_pushes >= self.ingest_limit:
+                # Shed: nothing stored, nothing acked forward — the
+                # pusher keeps its delta and retries next cadence tick.
+                self.meter.pushes_shed += 1
+                return {"type": "push-ack", "seq": msg.get("seq"),
+                        "shed": True, "heads": None, "cursors": None,
+                        "marks": None}
+            self._inflight_pushes += 1
+            try:
+                heads = await self._loop.run_in_executor(
+                    self._qp_pool, self.state.ingest_push, msg)
+                marks = await self._in_pool(self.qp.low_water_marks)
+            finally:
+                self._inflight_pushes -= 1
+            self.meter.pushes_accepted += 1
+            self._refresh_needed.set()
+            return {"type": "push-ack", "seq": msg.get("seq"),
+                    "shed": False, "heads": heads,
+                    "cursors": self.state.ingest_cursors(), "marks": marks}
+        if mtype == "bye":
+            return None
+        return {"type": "error", "error": f"unknown message type {mtype!r}"}
+
+    def _in_pool(self, fn, *args):
+        return self._loop.run_in_executor(
+            self._qp_pool, lambda: fn(*args))
+
+    # ------------------------------------------------ refresh + queries
+
+    def request_refresh(self):
+        """A future resolving with the epoch of the next refresh pass.
+        Requests arriving while a pass runs share the following pass —
+        the batching rung of the degradation ladder."""
+        fut = self._loop.create_future()
+        self._refresh_waiters.append(fut)
+        self._refresh_needed.set()
+        return fut
+
+    async def _refresh_worker(self):
+        while True:
+            await self._refresh_needed.wait()
+            self._refresh_needed.clear()
+            waiters, self._refresh_waiters = self._refresh_waiters, []
+            self.meter.refresh_batches += 1
+            self.meter.requests_batched += len(waiters)
+            try:
+                epoch, outcomes = await self._in_pool(self._refresh_and_eval)
+            except Exception as exc:  # pragma: no cover - defensive
+                for fut in waiters:
+                    if not fut.done():
+                        fut.set_exception(exc)
+                continue
+            for fut in waiters:
+                if not fut.done():
+                    fut.set_result(epoch)
+            self._dispatch_alerts(epoch, outcomes)
+
+    def _refresh_and_eval(self):
+        """(qp pool) One refresh pass plus one evaluation of every unique
+        watch — N subscribers of one vertex cost one query per epoch."""
+        epoch = self.qp.refresh()
+        outcomes = {}
+        wanted = {}
+        for sub in self._subs.values():
+            if sub.closed:
+                continue
+            for key, spec in zip(sub.keys, sub.watches):
+                wanted.setdefault(key, spec)
+        for key, spec in wanted.items():
+            outcomes[key] = self._eval_watch(spec)
+            self.meter.watch_evaluations += 1
+        self._watch_state.update(outcomes)
+        return epoch, outcomes
+
+    def _eval_watch(self, spec):
+        try:
+            result = self._run_query(spec)
+        except QueryError as exc:
+            return {"verdict": "pending", "error": str(exc)}
+        return {
+            "verdict": result.verdict(),
+            "faulty_nodes": result.summary()["faulty_nodes"],
+            "red": len(result.red_vertices()),
+            "yellow": len(result.yellow_vertices()),
+        }
+
+    def _run_query(self, spec):
+        """(qp pool) Evaluate one query/watch spec against the shared
+        processor."""
+        tup = _spec_tup(spec)
+        kwargs = {"node": spec.get("node"), "at": spec.get("at"),
+                  "scope": spec.get("scope")}
+        direction = spec.get("direction", "why")
+        if direction == "effects":
+            return self.qp.effects(tup, **kwargs)
+        if direction == "why_appear":
+            kwargs.pop("at")
+            return self.qp.why_appear(tup, before=spec.get("before"),
+                                      node=spec.get("node"),
+                                      scope=spec.get("scope"))
+        return self.qp.why(tup, **kwargs)
+
+    async def query(self, spec):
+        """Serve one REST query; with ``fresh``, join the next batched
+        refresh pass first."""
+        if spec.get("fresh"):
+            await self.request_refresh()
+        try:
+            result = await self._in_pool(self._run_query, spec)
+        except QueryError as exc:
+            return {"ok": False, "error": str(exc), "epoch": self.qp.epoch}
+        self.meter.queries_served += 1
+        return {"ok": True, "epoch": self.qp.epoch,
+                "result": result.summary()}
+
+    async def refresh(self):
+        epoch = await self.request_refresh()
+        self.meter.refreshes_served += 1
+        return {"ok": True, "epoch": epoch}
+
+    async def marks(self):
+        marks = await self._in_pool(self.qp.low_water_marks)
+        return {"ok": True, "marks": {str(k): v for k, v in marks.items()}}
+
+    def status(self):
+        return {
+            "ok": True,
+            "epoch": self.qp.epoch,
+            "hello": self.state.hello is not None,
+            "nodes": {str(n): p.stored_head()
+                      for n, p in self.state.nodes.items()},
+            "last_push_seq": self.state.last_push_seq,
+            "subscriptions": sum(
+                1 for s in self._subs.values() if not s.closed),
+            "meter": self.meter.as_dict(),
+        }
+
+    # ----------------------------------------------------- subscriptions
+
+    def add_subscription(self, watches):
+        sid = self._next_sid
+        self._next_sid += 1
+        sub = Subscription(sid, watches, self.subscriber_queue_limit)
+        self._subs[sid] = sub
+        self.meter.subscriptions_opened += 1
+        # Seed baselines from already-evaluated watches — telling the
+        # subscriber its starting state right away — so one joining late
+        # still alerts on the *next* downgrade; then make sure a pass
+        # runs to evaluate anything new.
+        for key, spec in zip(sub.keys, sub.watches):
+            known = self._watch_state.get(key)
+            if known is not None:
+                sub.last[key] = known["verdict"]
+                self._offer(sub, {"type": "state", "epoch": self.qp.epoch,
+                                  "watch": spec,
+                                  "verdict": known["verdict"]})
+        self._refresh_needed.set()
+        return sub
+
+    def remove_subscription(self, sub):
+        sub.closed = True
+        self._subs.pop(sub.sid, None)
+
+    def _dispatch_alerts(self, epoch, outcomes):
+        for sub in list(self._subs.values()):
+            if sub.closed:
+                continue
+            for key, spec in zip(sub.keys, sub.watches):
+                outcome = outcomes.get(key)
+                if outcome is None:
+                    continue
+                verdict = outcome["verdict"]
+                last = sub.last.get(key)
+                sub.last[key] = verdict
+                if last is None:
+                    event = {"type": "state", "epoch": epoch,
+                             "watch": spec, "verdict": verdict}
+                    self._offer(sub, event)
+                elif _VERDICT_RANK[verdict] > _VERDICT_RANK[last]:
+                    event = {"type": "alert", "epoch": epoch,
+                             "watch": spec, "from": last, "to": verdict,
+                             "faulty_nodes": outcome.get("faulty_nodes", []),
+                             "red": outcome.get("red", 0),
+                             "yellow": outcome.get("yellow", 0)}
+                    self.meter.alerts_emitted += 1
+                    self._offer(sub, event)
+
+    def _offer(self, sub, event):
+        """Enqueue an event, shedding the oldest on overflow (the
+        subscriber keeps the most recent state, marked lagged)."""
+        if sub.lagged:
+            event = dict(event, lagged=True)
+            sub.lagged = False
+        while True:
+            try:
+                sub.queue.put_nowait(event)
+                return
+            except asyncio.QueueFull:
+                try:
+                    sub.queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    pass
+                self.meter.alerts_dropped += 1
+                sub.lagged = True
+                event = dict(event, lagged=True)
+
+
+# ---------------------------------------------------------- entry points
+
+class MonitorHandle:
+    """A daemon running on its own thread + event loop (tests, benches,
+    and in-process embedding)."""
+
+    def __init__(self, daemon):
+        self.daemon = daemon
+        self._thread = None
+        self._loop = None
+
+    def start(self, timeout=10.0):
+        started = threading.Event()
+        failure = []
+
+        def runner():
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            try:
+                loop.run_until_complete(self.daemon.start())
+            except Exception as exc:  # pragma: no cover - startup failure
+                failure.append(exc)
+                started.set()
+                return
+            started.set()
+            try:
+                loop.run_forever()
+            finally:
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=runner, name="snp-monitor", daemon=True)
+        self._thread.start()
+        if not started.wait(timeout):
+            raise RuntimeError("monitor daemon did not start in time")
+        if failure:
+            raise failure[0]
+        return self
+
+    def stop(self, timeout=10.0):
+        if self._loop is None:
+            return
+        fut = asyncio.run_coroutine_threadsafe(self.daemon.stop(), self._loop)
+        fut.result(timeout)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.stop()
+        return False
+
+
+def start_monitor_thread(**kwargs):
+    """Start a :class:`MonitorDaemon` on a background thread; returns a
+    :class:`MonitorHandle` with bound ports on ``handle.daemon``."""
+    return MonitorHandle(MonitorDaemon(**kwargs)).start()
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="SNP monitor daemon: push ingest + REST audit service")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--push-port", type=int, default=0)
+    parser.add_argument("--http-port", type=int, default=0)
+    parser.add_argument("--executor", default=None,
+                        help="executor spec for view builds "
+                             "(serial | thread:N | process:N)")
+    parser.add_argument("--ingest-limit", type=int, default=64)
+    args = parser.parse_args(argv)
+
+    async def run():
+        daemon = MonitorDaemon(
+            host=args.host, push_port=args.push_port,
+            http_port=args.http_port, executor=args.executor,
+            ingest_limit=args.ingest_limit)
+        await daemon.start()
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signame in ("SIGINT", "SIGTERM"):
+            try:
+                loop.add_signal_handler(
+                    getattr(signal, signame), stop.set)
+            except (NotImplementedError, AttributeError):
+                pass  # platform without signal-handler support
+        # The parent (CI script, operator) reads one JSON line to learn
+        # the bound ports.
+        print(json.dumps({"push_port": daemon.push_port,
+                          "http_port": daemon.http_port}), flush=True)
+        try:
+            await stop.wait()
+        finally:
+            await daemon.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -82,6 +82,30 @@ class QueryTransport:
                 f"bw={self.bandwidth_bytes_per_s!r} B/s)")
 
 
+class _Cadence:
+    """One standing maintenance pass interleaved with simulation.
+
+    ``at_quiescence`` selects the :meth:`Deployment.run` policy: a pass
+    that is a no-op when nothing changed (delta replication, service
+    pushes) fires at every quiescence, while a pass with per-invocation
+    cost (GC checkpoints every node) fires only once its cadence instant
+    has actually been crossed.
+    """
+
+    __slots__ = ("name", "interval", "callback", "next_t", "at_quiescence")
+
+    def __init__(self, name, interval, callback, next_t, at_quiescence):
+        self.name = name
+        self.interval = interval
+        self.callback = callback
+        self.next_t = next_t
+        self.at_quiescence = at_quiescence
+
+    def __repr__(self):
+        return (f"_Cadence({self.name!r}, every {self.interval:g}s, "
+                f"next at {self.next_t:g})")
+
+
 class Deployment:
     def __init__(self, seed=0, t_prop=0.05, delta_clock=0.01, key_bits=256,
                  t_batch=0.0, drop_wires_to=()):
@@ -103,20 +127,22 @@ class Deployment:
         # deployments use: a +τ and its later −τ must arrive in order or
         # the receiver's belief state is corrupted.
         self._channel_clock = {}
+        # Standing cadences (see add_cadence): every periodic maintenance
+        # pass — replication, GC, service pushes — registers here and is
+        # interleaved with simulation by run()/run_until() under one
+        # scheduler instead of per-feature interval loops.
+        self._cadences = {}          # name -> _Cadence
         # Standing delta-replication policy (see enable_replication):
-        # (interval_seconds, replication_factor) or None, plus the next
-        # simulated instant a replication pass is due.
+        # (interval_seconds, replication_factor) or None.
         self._replication = None
-        self._next_replication_t = 0.0
         # Checkpoint-GC state (see run_gc / enable_gc): registered
         # standing queriers whose verified heads are the low-water marks,
         # each node's latest signed floor advertisement, the GC meter,
-        # and the standing cadence.
+        # and the standing policy (interval_seconds, checkpoint_first).
         self._queriers = []
         self.retention_floors = {}   # node -> RetentionFloor
         self.gc_meter = RetentionMeter()
-        self._gc_policy = None       # (interval_seconds, checkpoint_first)
-        self._next_gc_t = 0.0
+        self._gc_policy = None
 
     # ------------------------------------------------------------- set-up
 
@@ -201,41 +227,70 @@ class Deployment:
 
     # ------------------------------------------------------------- running
 
+    def add_cadence(self, name, interval_seconds, callback,
+                    at_quiescence=False):
+        """Install a standing maintenance cadence under the shared
+        scheduler: *callback* (no arguments) runs every *interval_seconds*
+        of simulated time, interleaved with event processing by
+        :meth:`run_until` and fired at quiescence by :meth:`run`.
+
+        With *at_quiescence*, :meth:`run` fires the callback at every
+        quiescence regardless of the cadence instant — the right policy
+        for passes that are no-ops when nothing changed (delta
+        replication, service pushes): draining the queue fast-forwards
+        past any number of cadence instants, and one pass at quiescence
+        leaves the consumer exactly as fresh as ticking through them all
+        would have. Without it, :meth:`run` fires only once the cadence
+        instant has actually been crossed — the policy for passes with
+        per-invocation cost, like GC (which checkpoints every node, so
+        firing per run() call would grow each log by one CHK entry).
+
+        Re-adding an existing *name* replaces its schedule. Ties in
+        :meth:`run_until` fire in ``(instant, name)`` order, so cadence
+        names double as a deterministic tie-break.
+        """
+        if interval_seconds <= 0:
+            raise ConfigurationError(
+                f"cadence interval must be positive, got "
+                f"{interval_seconds!r}"
+            )
+        cadence = _Cadence(
+            str(name), float(interval_seconds), callback,
+            self.sim.now + float(interval_seconds), bool(at_quiescence),
+        )
+        self._cadences[cadence.name] = cadence
+        return cadence
+
+    def remove_cadence(self, name):
+        """Uninstall a standing cadence (no-op when absent)."""
+        self._cadences.pop(str(name), None)
+
+    def cadence(self, name):
+        """The installed :class:`_Cadence` for *name*, or ``None``."""
+        return self._cadences.get(str(name))
+
     def run(self, max_events=None):
         steps = self.sim.run(max_events=max_events)
-        if self._replication is not None:
-            # Draining the queue fast-forwards past any number of cadence
-            # instants; one pass at quiescence leaves the replicas exactly
-            # as fresh as ticking through them all would have.
-            self.replicate_deltas(self._replication[1])
-            self._next_replication_t = self.sim.now + self._replication[0]
-        if self._gc_policy is not None and self.sim.now >= self._next_gc_t:
-            # Unlike replication (a no-op at quiescence), a GC pass
-            # checkpoints every node — so it only fires when its cadence
-            # instant has actually been crossed, or frequent run() calls
-            # would grow each log by one CHK entry per call.
-            self.run_gc(checkpoint=self._gc_policy[1])
-            self._next_gc_t = self.sim.now + self._gc_policy[0]
+        due = [c for c in self._cadences.values()
+               if c.at_quiescence or self.sim.now >= c.next_t]
+        # At-quiescence passes first (historically replication preceded
+        # GC at quiescence), then by name for determinism.
+        due.sort(key=lambda c: (not c.at_quiescence, c.name))
+        for cadence in due:
+            cadence.callback()
+            cadence.next_t = self.sim.now + cadence.interval
         return steps
 
     def run_until(self, t):
         while True:
-            due = []
-            if self._replication is not None \
-                    and self._next_replication_t <= t:
-                due.append((self._next_replication_t, "replication"))
-            if self._gc_policy is not None and self._next_gc_t <= t:
-                due.append((self._next_gc_t, "gc"))
+            due = [(c.next_t, c.name, c)
+                   for c in self._cadences.values() if c.next_t <= t]
             if not due:
                 break
-            at, kind = min(due)
+            at, _name, cadence = min(due, key=lambda item: item[:2])
             self.sim.run_until(at)
-            if kind == "replication":
-                self.replicate_deltas(self._replication[1])
-                self._next_replication_t += self._replication[0]
-            else:
-                self.run_gc(checkpoint=self._gc_policy[1])
-                self._next_gc_t += self._gc_policy[0]
+            cadence.callback()
+            cadence.next_t += cadence.interval
         self.sim.run_until(t)
 
     def checkpoint_all(self):
@@ -353,6 +408,8 @@ class Deployment:
         simulated time, and :meth:`run` (which drains the queue) performs
         one pass at quiescence — so a deployment that keeps running keeps
         its replica sets fresh without anyone calling replicate by hand.
+        Implemented on the shared :meth:`add_cadence` scheduler, so it
+        composes with GC and service-push cadences.
         """
         if interval_seconds <= 0:
             raise ConfigurationError(
@@ -360,11 +417,16 @@ class Deployment:
                 f"{interval_seconds!r}"
             )
         self._replication = (float(interval_seconds), replication_factor)
-        self._next_replication_t = self.sim.now + interval_seconds
+        self.add_cadence(
+            "replication", interval_seconds,
+            lambda: self.replicate_deltas(self._replication[1]),
+            at_quiescence=True,
+        )
         return self._replication
 
     def disable_replication(self):
         self._replication = None
+        self.remove_cadence("replication")
 
     # ------------------------------------------------------ checkpoint GC
 
@@ -479,19 +541,27 @@ class Deployment:
         """Install a standing checkpoint-GC cadence, the retention
         counterpart of :meth:`enable_replication`: :meth:`run_until`
         interleaves a :meth:`run_gc` pass every *interval_seconds* of
-        simulated time, and :meth:`run` performs one pass at quiescence —
-        so a deployment that keeps running keeps its logs bounded by what
-        live auditors still anchor on."""
+        simulated time, and :meth:`run` performs one pass once its
+        cadence instant has been crossed — so a deployment that keeps
+        running keeps its logs bounded by what live auditors still
+        anchor on. Implemented on the shared :meth:`add_cadence`
+        scheduler (not ``at_quiescence``: a GC pass checkpoints every
+        node, so firing per run() call would grow each log by one CHK
+        entry per call)."""
         if interval_seconds <= 0:
             raise ConfigurationError(
                 f"GC interval must be positive, got {interval_seconds!r}"
             )
         self._gc_policy = (float(interval_seconds), bool(checkpoint))
-        self._next_gc_t = self.sim.now + interval_seconds
+        self.add_cadence(
+            "gc", interval_seconds,
+            lambda: self.run_gc(checkpoint=self._gc_policy[1]),
+        )
         return self._gc_policy
 
     def disable_gc(self):
         self._gc_policy = None
+        self.remove_cadence("gc")
 
     def advertised_floor_of(self, node):
         """The node's sanctioned-or-not advertised floor index (0 when it

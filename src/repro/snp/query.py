@@ -55,6 +55,35 @@ class QueryResult:
     def is_clean(self):
         return not self.red_vertices() and not self.yellow_vertices()
 
+    def verdict(self):
+        """The whole-result verdict, ordered worst-first: ``"red"`` when
+        any explored vertex is proven faulty, ``"yellow"`` when judgment
+        is withheld anywhere, else ``"green"``. This is the scalar the
+        service plane's subscriptions watch for downgrades."""
+        if self.red_vertices():
+            return "red"
+        if self.yellow_vertices():
+            return "yellow"
+        return "green"
+
+    def summary(self):
+        """A JSON-ready, deterministic projection of the result: every
+        vertex rendering with its color, plus the verdict rollup. Two
+        audits that explored the same provenance produce byte-identical
+        summaries — the equality the service e2e gate checks between a
+        daemon-served query and a direct in-process one. (Cost counters
+        live in ``stats`` and are intentionally excluded: they vary by
+        executor and fetch path, like ``QueryStats.EXECUTOR_FIELDS``.)"""
+        return {
+            "root": self.root.describe(),
+            "direction": self.direction,
+            "verdict": self.verdict(),
+            "vertices": sorted(
+                [v.describe(), v.color] for v in self.graph.vertices()
+            ),
+            "faulty_nodes": [str(n) for n in self.faulty_nodes()],
+        }
+
     def vertices(self):
         return self.graph.vertices()
 

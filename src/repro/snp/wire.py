@@ -45,7 +45,7 @@ import time
 from repro.crypto.rsa import RsaKeyPair
 from repro.metrics import QueryStats
 from repro.model import Ack, Msg, Tup
-from repro.snp.evidence import Authenticator
+from repro.snp.evidence import Authenticator, RetentionFloor
 from repro.snp.log import LogEntry, INS, DEL, SND, RCV, ACK, CHK
 from repro.snp.replay import (
     ReplayResult, check_against_authenticator, extend_replay,
@@ -75,6 +75,7 @@ _MSG_TAG = "W.msg"
 _ACK_TAG = "W.ack"
 _DER_TAG = "W.der"
 _AUTH_TAG = "W.auth"
+_FLOOR_TAG = "W.floor"
 
 
 def value_to_wire(value):
@@ -99,6 +100,9 @@ def value_to_wire(value):
     if isinstance(value, Authenticator):
         return (_AUTH_TAG, value_to_wire(value.node), value.index,
                 value.timestamp, value.entry_hash, bytes(value.signature))
+    if isinstance(value, RetentionFloor):
+        return (_FLOOR_TAG, value_to_wire(value.node), value.floor_index,
+                value.floor_time, bytes(value.signature))
     if isinstance(value, tuple):
         return (_TUPLE_TAG, tuple(value_to_wire(v) for v in value))
     if isinstance(value, list):
@@ -145,6 +149,10 @@ def value_from_wire(wire):
             _t, node, index, timestamp, entry_hash, signature = wire
             return Authenticator(value_from_wire(node), index, timestamp,
                                  entry_hash, signature)
+        if tag == _FLOOR_TAG:
+            _t, node, floor_index, floor_time, signature = wire
+            return RetentionFloor(value_from_wire(node), floor_index,
+                                  floor_time, signature)
         if tag == _TUPLE_TAG:
             return tuple(value_from_wire(v) for v in wire[1])
         if tag == _LIST_TAG:

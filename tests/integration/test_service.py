@@ -1,0 +1,333 @@
+"""The service plane end-to-end, over real loopback sockets.
+
+The acceptance bar for PR 8's tentpole: a daemon fed by *pushed* deltas
+must reach verdicts bit-identical to a direct in-process audit of the
+same deployment (clean runs compare whole summaries; adversarial runs
+compare convictions), standing subscriptions must alert on the first
+push that carries a downgrade, and the degradation ladder — shedding to
+poll fallback, retry-with-backoff — must keep both sides consistent.
+
+Everything here runs the real stack: asyncio servers on ``127.0.0.1``
+port 0, framed pickles on the push socket, HTTP/NDJSON on the REST side.
+"""
+
+import threading
+
+import pytest
+
+from repro.apps.mincost import best_cost, build_paper_network, link
+from repro.service import (
+    MonitorClient, ServicePusher, start_monitor_thread, tup_spec,
+)
+from repro.snp import Deployment, QueryProcessor
+from repro.snp.adversary import ForkingNode, TamperingNode
+
+
+def paper_deployment(adversary_cls=None, victim="b", seed=77):
+    dep = Deployment(seed=seed, key_bits=256)
+    overrides = {victim: adversary_cls} if adversary_cls else {}
+    nodes = build_paper_network(dep, node_overrides=overrides)
+    dep.run()
+    return dep, nodes
+
+
+def direct_summary(dep, tup, **kwargs):
+    with QueryProcessor(dep) as qp:
+        qp.refresh()
+        return qp.why(tup, **kwargs).summary()
+
+
+@pytest.fixture
+def monitor():
+    handle = start_monitor_thread(
+        host="127.0.0.1", push_port=0, http_port=0)
+    try:
+        yield handle
+    finally:
+        handle.stop()
+
+
+def make_pusher(dep, handle, **kwargs):
+    return ServicePusher(
+        dep, "127.0.0.1", handle.daemon.push_port, **kwargs)
+
+
+class TestServiceAudit:
+    def test_pushed_audit_matches_direct(self, monitor):
+        """The acceptance gate: the daemon's verdict over pushed data is
+        bit-identical to a direct in-process audit."""
+        dep, _nodes = paper_deployment()
+        expected = direct_summary(dep, best_cost("c", "d", 5))
+        assert expected["verdict"] == "green"
+
+        pusher = make_pusher(dep, monitor)
+        ack = pusher.push_once()
+        assert ack is not None and not ack.get("shed")
+
+        client = MonitorClient("127.0.0.1", monitor.daemon.http_port)
+        out = client.query(tup_spec(best_cost("c", "d", 5), fresh=True))
+        assert out["ok"]
+        assert out["result"] == expected
+        pusher.close()
+
+    def test_status_reports_pushed_heads(self, monitor):
+        dep, _nodes = paper_deployment()
+        pusher = make_pusher(dep, monitor)
+        pusher.push_once()
+        client = MonitorClient("127.0.0.1", monitor.daemon.http_port)
+        status = client.status()
+        assert status["ok"] and status["hello"]
+        for name, node in dep.nodes.items():
+            assert status["nodes"][str(name)] == len(node.log.entries)
+        assert status["meter"]["pushes_accepted"] == 1
+        pusher.close()
+
+    def test_incremental_push_ships_only_the_delta(self, monitor):
+        dep, nodes = paper_deployment()
+        pusher = make_pusher(dep, monitor)
+        first = pusher.push_once()
+        heads = dict(first["heads"])
+        nodes["a"].insert(link("a", "e", 9))
+        dep.run()
+        msg, _cursors = pusher.build_push()
+        part = msg["nodes"]["a"]["response"]
+        assert part.start_index == heads["a"] + 1
+        second = pusher.push_once()
+        assert second["heads"]["a"] == len(nodes["a"].log.entries)
+        assert second["heads"]["a"] > heads["a"]
+        pusher.close()
+
+    def test_sixteen_concurrent_clients_agree(self, monitor):
+        """≥16 REST clients sharing one daemon all see the same audit."""
+        dep, _nodes = paper_deployment()
+        expected = direct_summary(dep, best_cost("c", "d", 5))
+        pusher = make_pusher(dep, monitor)
+        pusher.push_once()
+        client = MonitorClient("127.0.0.1", monitor.daemon.http_port)
+        client.refresh()
+
+        spec = tup_spec(best_cost("c", "d", 5))
+        results = [None] * 16
+        errors = []
+
+        def worker(slot):
+            try:
+                own = MonitorClient(
+                    "127.0.0.1", monitor.daemon.http_port, timeout=60)
+                results[slot] = own.query(spec)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(60)
+        assert not errors
+        for out in results:
+            assert out is not None and out["ok"]
+            assert out["result"] == expected
+        assert monitor.daemon.meter.queries_served >= 16
+        pusher.close()
+
+
+class TestAdversarial:
+    def test_fork_convicted_through_service(self, monitor):
+        """A fork after the daemon stored the honest prefix: the next
+        delta contradicts the stored chain, and the daemon's audit
+        convicts exactly like a direct one."""
+        dep, nodes = paper_deployment(ForkingNode)
+        pusher = make_pusher(dep, monitor)
+        pusher.push_once()
+
+        nodes["b"].fork_log(keep_upto=3)
+        nodes["b"].insert(link("b", "e", 9))
+        dep.run()
+        pusher.push_once()
+
+        client = MonitorClient("127.0.0.1", monitor.daemon.http_port)
+        out = client.query(tup_spec(best_cost("c", "d", 5), fresh=True))
+        assert out["ok"]
+        assert out["result"]["verdict"] == "red"
+        assert "b" in out["result"]["faulty_nodes"]
+
+        direct = direct_summary(dep, best_cost("c", "d", 5))
+        assert direct["verdict"] == "red"
+        assert "b" in direct["faulty_nodes"]
+        pusher.close()
+
+    def test_tampered_history_convicted_through_service(self, monitor):
+        dep, nodes = paper_deployment(TamperingNode)
+        pusher = make_pusher(dep, monitor)
+        pusher.push_once()
+
+        nodes["b"].tamper_entry(2, ("rewritten-history",),
+                                recompute_chain=True)
+        # History alone can't reach the daemon — it already holds the
+        # honest prefix. The node's next (non-empty) push carries hashes
+        # from the rewritten chain, and that contradiction convicts.
+        nodes["b"].insert(link("b", "e", 9))
+        dep.run()
+        pusher.push_once()
+
+        client = MonitorClient("127.0.0.1", monitor.daemon.http_port)
+        out = client.query(tup_spec(best_cost("c", "d", 5), fresh=True))
+        assert out["ok"]
+        assert out["result"]["verdict"] == "red"
+        assert "b" in out["result"]["faulty_nodes"]
+        pusher.close()
+
+
+class TestSubscriptions:
+    def test_alert_on_green_to_red_within_one_push(self, monitor):
+        dep, nodes = paper_deployment(ForkingNode)
+        pusher = make_pusher(dep, monitor)
+        pusher.push_once()
+
+        client = MonitorClient("127.0.0.1", monitor.daemon.http_port)
+        watch = tup_spec(best_cost("c", "d", 5))
+        with client.subscribe([watch]) as stream:
+            banner = stream.next_event(timeout=20)
+            assert banner["type"] == "subscribed"
+            seen = stream.events_until(
+                lambda e: e.get("type") == "state", timeout=20)
+            assert seen[-1]["verdict"] == "green"
+
+            nodes["b"].fork_log(keep_upto=3)
+            nodes["b"].insert(link("b", "e", 9))
+            dep.run()
+            pusher.push_once()
+
+            seen = stream.events_until(
+                lambda e: e.get("type") == "alert", timeout=20)
+            alert = seen[-1]
+            assert alert["from"] == "green" and alert["to"] == "red"
+            assert "b" in alert["faulty_nodes"]
+        assert monitor.daemon.meter.alerts_emitted >= 1
+        pusher.close()
+
+    def test_fanout_same_downgrade_reaches_every_subscriber(self, monitor):
+        dep, nodes = paper_deployment(ForkingNode)
+        pusher = make_pusher(dep, monitor)
+        pusher.push_once()
+
+        client = MonitorClient("127.0.0.1", monitor.daemon.http_port)
+        watch = tup_spec(best_cost("c", "d", 5))
+        streams = [client.subscribe([watch]) for _ in range(4)]
+        try:
+            for stream in streams:
+                assert stream.next_event(timeout=20)["type"] == "subscribed"
+                stream.events_until(
+                    lambda e: e.get("type") == "state", timeout=20)
+
+            nodes["b"].fork_log(keep_upto=3)
+            nodes["b"].insert(link("b", "e", 9))
+            dep.run()
+            pusher.push_once()
+
+            for stream in streams:
+                seen = stream.events_until(
+                    lambda e: e.get("type") == "alert", timeout=20)
+                assert seen[-1]["to"] == "red"
+            # One unique watch → one evaluation per epoch, not four.
+            assert (monitor.daemon.meter.watch_evaluations
+                    < 4 * monitor.daemon.meter.refresh_batches)
+        finally:
+            for stream in streams:
+                stream.close()
+        pusher.close()
+
+
+class TestDegradation:
+    def test_shed_keeps_delta_and_next_tick_polls(self, monitor):
+        dep, _nodes = paper_deployment()
+        pusher = make_pusher(dep, monitor)
+        pusher.connect()
+
+        monitor.daemon.ingest_limit = 0
+        ack = pusher.push_once()
+        assert ack is not None and ack["shed"]
+        # Nothing advanced past the hello baseline of zero.
+        assert set(pusher.acked_heads.values()) == {0}
+        assert pusher.meter.poll_fallbacks == 1
+        assert monitor.daemon.meter.pushes_shed == 1
+
+        monitor.daemon.ingest_limit = 64
+        ack = pusher.push_once()
+        assert not ack["shed"]
+        for name, node in dep.nodes.items():
+            assert ack["heads"][name] == len(node.log.entries)
+        pusher.close()
+
+    def test_retry_with_backoff_then_give_up(self):
+        dep, _nodes = paper_deployment()
+        sleeps = []
+        pusher = ServicePusher(
+            dep, "127.0.0.1", 1,  # reserved port: connection refused
+            retries=3, backoff=0.01, backoff_factor=2.0,
+            sleep=sleeps.append, timeout=0.2)
+        ack = pusher.push_once()
+        assert ack is None
+        assert pusher.meter.push_failures == 1
+        assert pusher.meter.push_retries == 3
+        assert sleeps == [0.01, 0.02, 0.04]
+        assert pusher.acked_heads == {}
+
+    def test_push_recovers_after_daemon_restart(self):
+        dep, _nodes = paper_deployment()
+        first = start_monitor_thread(
+            host="127.0.0.1", push_port=0, http_port=0)
+        try:
+            pusher = make_pusher(dep, first)
+            assert not pusher.push_once()["shed"]
+        finally:
+            first.stop()
+        pusher.close()
+
+        second = start_monitor_thread(
+            host="127.0.0.1", push_port=0, http_port=0)
+        try:
+            pusher.port = second.daemon.push_port
+            ack = pusher.push_once()
+            assert ack is not None and not ack["shed"]
+            # The fresh daemon acked from zero: the pusher adopted its
+            # heads, so the full log was re-shipped and audits work.
+            client = MonitorClient("127.0.0.1", second.daemon.http_port)
+            out = client.query(tup_spec(best_cost("c", "d", 5), fresh=True))
+            assert out["ok"] and out["result"]["verdict"] == "green"
+        finally:
+            second.stop()
+        pusher.close()
+
+
+class TestCadenceComposition:
+    def test_service_push_rides_the_shared_scheduler(self, monitor):
+        """PR 8's bugfix satellite: replication, GC, and service push all
+        hang off one cadence table — no third ad-hoc loop."""
+        dep, nodes = paper_deployment()
+        dep.enable_replication(interval_seconds=5.0)
+        dep.enable_gc(interval_seconds=7.0)
+
+        pusher = make_pusher(dep, monitor)
+        querier = pusher.install(interval_seconds=3.0)
+        assert dep.cadence("service-push") is not None
+        assert dep.cadence("replication") is not None
+        assert dep.cadence("gc") is not None
+
+        nodes["a"].insert(link("a", "e", 9))
+        dep.run()      # quiescence fires the at-quiescence cadences
+        assert pusher.meter.pushes_sent >= 1
+        assert monitor.daemon.meter.pushes_accepted >= 1
+
+        # The daemon's marks flow back through the GC handshake seat.
+        client = MonitorClient("127.0.0.1", monitor.daemon.http_port)
+        client.query(tup_spec(best_cost("c", "d", 5), fresh=True))
+        pusher.push_once()
+        assert querier.low_water_marks()
+        assert querier in dep._queriers
+
+        pusher.uninstall()
+        assert dep.cadence("service-push") is None
+        assert querier not in dep._queriers
+        pusher.close()

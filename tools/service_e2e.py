@@ -1,0 +1,211 @@
+#!/usr/bin/env python
+"""End-to-end gate for the service plane, across real process boundaries.
+
+Boots the monitor daemon as a *subprocess* (``python -m
+repro.service.monitor``), runs a Chord workload in this process, pushes
+its logs over the framed socket transport, then proves the PR 8
+acceptance bar:
+
+1. **bit-identical audits** — N concurrent REST clients sharing the
+   daemon all receive exactly the summary a direct in-process
+   ``QueryProcessor`` audit of the same deployment produces;
+2. **subscription alerting** — subscribers watching the audited vertex
+   are told about an injected adversary's green→red downgrade within one
+   push;
+3. the daemon shuts down cleanly on SIGTERM.
+
+Exit status 0 on success, 1 on any failed check — CI's ``service-e2e``
+job runs exactly this file.
+"""
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.apps.chord import ChordNetwork                     # noqa: E402
+from repro.service import MonitorClient, ServicePusher, tup_spec  # noqa: E402
+from repro.snp import Deployment, QueryProcessor              # noqa: E402
+from repro.snp.adversary import ForkingNode                   # noqa: E402
+
+CHECKS = []
+
+
+def check(name, ok, detail=""):
+    CHECKS.append((name, bool(ok)))
+    print(f"  [{'ok' if ok else 'FAIL'}] {name}" + (f" — {detail}" if detail else ""),
+          flush=True)
+    return bool(ok)
+
+
+def spawn_daemon():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src") + os.pathsep + \
+        env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.service",
+         "--host", "127.0.0.1", "--push-port", "0", "--http-port", "0"],
+        stdout=subprocess.PIPE, env=env, text=True)
+    line = proc.stdout.readline()
+    try:
+        ports = json.loads(line)
+    except ValueError:
+        proc.kill()
+        raise SystemExit(f"daemon did not report ports, said: {line!r}")
+    return proc, ports
+
+
+def build_workload(adversary_name, seed=11):
+    dep = Deployment(seed=seed, key_bits=256)
+    net = ChordNetwork(dep, n_nodes=8, ring_bits=12, seed=seed,
+                       node_overrides={adversary_name: ForkingNode})
+    net.bootstrap(neighbors=2)
+    net.stabilize(rounds=2)
+    # A lookup that *routes through* the (future) adversary: a key
+    # strictly inside its successor arc makes it the closest preceding
+    # hop, so it resolves the lookup and the audited vertex's provenance
+    # crosses its log. (A key the requester's own successor pointer
+    # covers would be answered locally and audit nothing remote.)
+    names = [name for name, _r in net.members]
+    index = names.index(adversary_name)
+    successor = names[(index + 1) % len(names)]
+    key = (net.ring_id(successor) - 1) % net.size
+    requester = names[index - 1]
+    results = net.lookup(requester, key, "e2e-0")
+    if not results:
+        raise SystemExit("chord lookup produced no result")
+    return dep, net, results[0]
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=16,
+                        help="concurrent REST clients (acceptance: >= 16)")
+    parser.add_argument("--subscribers", type=int, default=3)
+    parser.add_argument("--alert-timeout", type=float, default=60.0,
+                        help="seconds a subscriber may wait for the alert")
+    parser.add_argument("--adversary", default="n3")
+    args = parser.parse_args(argv)
+
+    print("service e2e: building chord workload", flush=True)
+    dep, net, target = build_workload(args.adversary)
+    with QueryProcessor(dep) as qp:
+        qp.refresh()
+        direct = qp.why(target).summary()
+    check("clean direct audit is green", direct["verdict"] == "green",
+          f"verdict={direct['verdict']}")
+
+    print("service e2e: starting daemon subprocess", flush=True)
+    proc, ports = spawn_daemon()
+    exit_code = 1
+    try:
+        pusher = ServicePusher(dep, "127.0.0.1", ports["push_port"])
+        ack = pusher.push_once()
+        check("first push accepted", ack is not None and not ack["shed"])
+
+        watch = tup_spec(target)
+        client = MonitorClient("127.0.0.1", ports["http_port"], timeout=60)
+
+        streams = [client.subscribe([watch])
+                   for _ in range(args.subscribers)]
+        for stream in streams:
+            banner = stream.next_event(timeout=30)
+            assert banner["type"] == "subscribed"
+            state = stream.events_until(
+                lambda e: e.get("type") == "state", timeout=30)[-1]
+            check("subscriber baseline is green",
+                  state["verdict"] == "green")
+
+        print(f"service e2e: {args.clients} concurrent clients", flush=True)
+        results = [None] * args.clients
+        errors = []
+
+        def worker(slot):
+            try:
+                own = MonitorClient("127.0.0.1", ports["http_port"],
+                                    timeout=120)
+                results[slot] = own.query(watch)
+            except Exception as exc:
+                errors.append(f"client {slot}: {exc!r}")
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(args.clients)]
+        started = time.monotonic()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(120)
+        elapsed = time.monotonic() - started
+        check("no client errors", not errors, "; ".join(errors[:3]))
+        identical = all(out is not None and out.get("ok")
+                        and out["result"] == direct for out in results)
+        check(f"{args.clients} concurrent audits bit-identical to direct",
+              identical, f"{elapsed:.2f}s wall")
+
+        print("service e2e: injecting fork at " + args.adversary,
+              flush=True)
+        adversary = dep.node(args.adversary)
+        adversary.fork_log(keep_upto=3)
+        net.stabilize(rounds=1)   # the forked branch keeps operating
+        push_at = time.monotonic()
+        ack = pusher.push_once()
+        check("post-fork push accepted",
+              ack is not None and not ack["shed"])
+
+        for index, stream in enumerate(streams):
+            alert = stream.events_until(
+                lambda e: e.get("type") == "alert",
+                timeout=args.alert_timeout)[-1]
+            latency = time.monotonic() - push_at
+            ok = (alert["from"] == "green" and alert["to"] == "red"
+                  and args.adversary in alert["faulty_nodes"])
+            check(f"subscriber {index} alerted green->red",
+                  ok, f"{latency:.2f}s after push")
+
+        out = client.query(dict(watch, fresh=True))
+        check("service audit convicts the forker",
+              out.get("ok") and out["result"]["verdict"] == "red"
+              and args.adversary in out["result"]["faulty_nodes"])
+        with QueryProcessor(dep) as qp:
+            qp.refresh()
+            direct_red = qp.why(target).summary()
+        check("direct audit agrees on the conviction",
+              direct_red["verdict"] == "red"
+              and args.adversary in direct_red["faulty_nodes"])
+
+        for stream in streams:
+            stream.close()
+        status = client.status()
+        print("daemon meter:", json.dumps(
+            {k: v for k, v in status["meter"].items() if v}), flush=True)
+        pusher.close()
+
+        failed = [name for name, ok in CHECKS if not ok]
+        exit_code = 1 if failed else 0
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+    check("daemon exited cleanly on SIGTERM", proc.returncode == 0,
+          f"returncode={proc.returncode}")
+    failed = [name for name, ok in CHECKS if not ok]
+    if failed:
+        print(f"service e2e: FAILED ({len(failed)}): " + "; ".join(failed),
+              flush=True)
+        return 1
+    print(f"service e2e: PASS ({len(CHECKS)} checks)", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
