@@ -1,10 +1,13 @@
-"""Engine benchmark: indexed join plans vs. the seed scan-based engine.
+"""Engine benchmark: indexed plans and differential deltas vs. the seed.
 
-Runs the same fixpoint workloads through :class:`repro.datalog.DatalogApp`
-(compiled plans + secondary indexes) and :class:`repro.datalog.
-NaiveDatalogApp` (the seed's interpretive scans, kept as the reference
-evaluator), checks their outputs are byte-identical, and reports events
-processed per second. Workloads scale node count and relation size:
+Runs the same fixpoint workloads through three engines — :class:`repro.
+datalog.DatalogApp` (compiled plans + secondary indexes), :class:`repro.
+datalog.DifferentialDatalogApp` (the indexed engine plus the weighted
+z-set delta plane and the aggregate membership index), and
+:class:`repro.datalog.NaiveDatalogApp` (the seed's interpretive scans,
+kept as the reference evaluator) — checks their outputs are
+byte-identical, and reports events processed per second. Workloads scale
+node count and relation size:
 
 * **chord** — an n-node Chord ring: bootstrap, one gossip/stabilization
   round, then a batch of iterative lookups (paper Section 6.1);
@@ -13,12 +16,22 @@ processed per second. Workloads scale node count and relation size:
   label counts the route tuples in the converged network;
 * **hadoop** — the reduce-side shuffle fixpoint of the paper's Hadoop
   application (Section 6.2) as Datalog: per-(job, word) sum aggregates
-  plus per-job completion counts over one reducer's shuffle relation.
+  plus per-job completion counts over one reducer's shuffle relation;
+* **churn** — the retract-heavy schedule: the bgp network converges,
+  then a third of its links flap (delete + re-insert) for two rounds,
+  exercising retraction cascades and min-aggregate support
+  re-derivation under every engine.
+
+A separate **refresh** section measures the differential claim
+directly: the marginal ``delta_tuples_out`` of ONE extra event on a
+warm chord mesh vs. re-deriving the entire suffix from scratch —
+``check_regression.py`` gates that ratio.
 
 Messages between nodes are pumped through a deterministic FIFO (no
 crypto, no logging — this isolates the evaluation core). Besides wall
 time, every row carries the engines' deterministic evaluation counters
-(join candidates enumerated, guard prunes), and a static ``plans``
+(join candidates enumerated, guard prunes, delta tuples in/out,
+retractions applied, support re-derivations), and a static ``plans``
 section records per-program analysis/plan-build time plus the guard
 schedule shape (pre/mid/late placements) — the machine-portable signals
 ``check_regression.py`` gates on. ``python benchmarks/bench_engine.py``
@@ -38,8 +51,8 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.datalog import (  # noqa: E402
-    AggregateRule, Atom, DatalogApp, Guard, NaiveDatalogApp, Program, Rule,
-    Var,
+    AggregateRule, Atom, DatalogApp, DifferentialDatalogApp, Guard,
+    NaiveDatalogApp, Program, Rule, Var,
 )
 from repro.apps import chord as chord_app  # noqa: E402
 from repro.apps import pathvector as pv  # noqa: E402
@@ -132,6 +145,34 @@ def run_bgp(app_cls, n_nodes):
         mesh.insert(x, pv.link(x, y))
         mesh.insert(y, pv.link(y, x))
     # Converged table size: the scenario's "route count" label.
+    mesh.routes = sum(
+        len(app.tuples_of("route")) for app in mesh.apps.values()
+    )
+    return mesh
+
+
+# -------------------------------------------------------------- link churn
+
+def run_churn(app_cls, n_nodes):
+    """Retract-heavy path-vector schedule: converge the bgp topology,
+    then flap every third link (delete both directions, re-insert both)
+    for two rounds. Each deletion retracts derived routes transitively
+    and forces min-aggregate best-path groups to re-derive from their
+    remaining supports; each re-insertion re-derives the same routes, so
+    the converged table must come back bit-identical every round."""
+    names, edges = _bgp_topology(n_nodes)
+    mesh = Mesh(app_cls, pv.pathvector_program(), names)
+    for x, y in edges:
+        mesh.insert(x, pv.link(x, y))
+        mesh.insert(y, pv.link(y, x))
+    flapping = edges[::3]
+    for _round in range(2):
+        for x, y in flapping:
+            mesh.delete(x, pv.link(x, y))
+            mesh.delete(y, pv.link(y, x))
+        for x, y in flapping:
+            mesh.insert(x, pv.link(x, y))
+            mesh.insert(y, pv.link(y, x))
     mesh.routes = sum(
         len(app.tuples_of("route")) for app in mesh.apps.values()
     )
@@ -258,19 +299,36 @@ WORKLOADS = {
     "chord": (run_chord, "nodes"),
     "bgp": (run_bgp, "nodes"),
     "hadoop": (run_hadoop, "shuffle tuples"),
+    "churn": (run_churn, "nodes"),
 }
 
 FULL_SIZES = {
     "chord": (20, 35, 50),
     "bgp": (20, 30, 40),
     "hadoop": (500, 1000, 2000),
+    "churn": (20, 30, 40),
 }
 
 SMOKE_SIZES = {
     "chord": (8,),
     "bgp": (10,),
     "hadoop": (150,),
+    "churn": (10,),
 }
+
+# The engines' per-event delta accounting, summed over a mesh. The
+# in/out counters are trace properties (identical across engines for
+# the same schedule); retractions/re-derivations count the deletion
+# path's actual work.
+DELTA_COUNTERS = ("delta_tuples_in", "delta_tuples_out",
+                  "retractions_applied", "support_rederivations")
+
+
+def _delta_totals(mesh):
+    return {
+        field: sum(getattr(app, field) for app in mesh.apps.values())
+        for field in DELTA_COUNTERS
+    }
 
 
 def measure(runner, app_cls, size):
@@ -292,6 +350,7 @@ def measure(runner, app_cls, size):
         "guard_prunes": sum(
             app.guard_prunes for app in mesh.apps.values()
         ),
+        "deltas": _delta_totals(mesh),
     }
 
 
@@ -300,12 +359,20 @@ def run_suite(sizes, min_speedup=None):
     for name, (runner, size_label) in WORKLOADS.items():
         for size in sizes[name]:
             indexed = measure(runner, DatalogApp, size)
+            differential = measure(runner, DifferentialDatalogApp, size)
             naive = measure(runner, NaiveDatalogApp, size)
             if indexed["fingerprint"] != naive["fingerprint"]:
                 raise AssertionError(
                     f"{name}@{size}: indexed and naive outputs diverge"
                 )
+            if differential["fingerprint"] != indexed["fingerprint"]:
+                raise AssertionError(
+                    f"{name}@{size}: differential and indexed outputs "
+                    "diverge"
+                )
             speedup = naive["seconds"] / indexed["seconds"]
+            differential_speedup = (naive["seconds"]
+                                    / differential["seconds"])
             row = {
                 "workload": name,
                 "size": size,
@@ -313,22 +380,36 @@ def run_suite(sizes, min_speedup=None):
                 "events": indexed["events"],
                 "naive_ops_per_sec": round(naive["ops_per_sec"], 1),
                 "indexed_ops_per_sec": round(indexed["ops_per_sec"], 1),
+                "differential_ops_per_sec": round(
+                    differential["ops_per_sec"], 1),
                 "naive_seconds": round(naive["seconds"], 4),
                 "indexed_seconds": round(indexed["seconds"], 4),
+                "differential_seconds": round(
+                    differential["seconds"], 4),
                 "speedup": round(speedup, 2),
+                "differential_speedup": round(differential_speedup, 2),
                 "indexed_join_candidates": indexed["join_candidates"],
                 "naive_join_candidates": naive["join_candidates"],
                 "indexed_guard_prunes": indexed["guard_prunes"],
                 "naive_guard_prunes": naive["guard_prunes"],
+                # All three engines agreed byte-for-byte (asserted
+                # above); recorded so the regression gate can refuse a
+                # bench output whose equivalence check was edited away.
+                "engines_agree": True,
+                "naive_delta_tuples_out":
+                    naive["deltas"]["delta_tuples_out"],
             }
-            if name == "bgp":
+            row.update(differential["deltas"])
+            if name in ("bgp", "churn"):
                 row["routes"] = indexed["routes"]
             results.append(row)
             print(
                 f"{name:>7} size={size:<6} events={row['events']:<7} "
                 f"naive={row['naive_ops_per_sec']:>9.1f}/s "
                 f"indexed={row['indexed_ops_per_sec']:>9.1f}/s "
-                f"speedup={speedup:.2f}x"
+                f"differential={row['differential_ops_per_sec']:>9.1f}/s "
+                f"speedup={speedup:.2f}x "
+                f"retractions={row['retractions_applied']}"
             )
     best = max(results, key=lambda r: r["speedup"])
     print(f"\nbest speedup: {best['speedup']}x "
@@ -339,6 +420,55 @@ def run_suite(sizes, min_speedup=None):
             f"{best['speedup']}x"
         )
     return results
+
+
+def measure_refresh(n_nodes):
+    """The differential claim in one number: the marginal cost of one
+    more event on a warm mesh vs. re-deriving the whole suffix.
+
+    Builds the chord workload twice. The *warm* arm keeps the
+    differential mesh resident, records ``delta_tuples_out``, then
+    applies ONE extra lookup — the counter's increase is the
+    incremental derivation work. The *scratch* arm replays the entire
+    schedule (including the extra lookup) through the naive reference
+    from an empty store — its total ``delta_tuples_out`` is what a
+    snapshot-restore replay would have re-derived. The two meshes must
+    still agree byte-for-byte after the extra event; the ratio is the
+    1-event refresh cost ``check_regression.py`` gates."""
+    import random
+
+    def one_more_lookup(mesh):
+        rng = random.Random(11)  # distinct from run_chord's seed
+        origin = sorted(mesh.apps)[0]
+        mesh.insert(origin, chord_app.lookup_req(
+            origin, rng.randrange(1 << 12), 999))
+
+    warm = run_chord(DifferentialDatalogApp, n_nodes)
+    before = _delta_totals(warm)["delta_tuples_out"]
+    one_more_lookup(warm)
+    incremental = _delta_totals(warm)["delta_tuples_out"] - before
+
+    scratch = run_chord(NaiveDatalogApp, n_nodes)
+    one_more_lookup(scratch)
+    full = _delta_totals(scratch)["delta_tuples_out"]
+    if warm.fingerprint() != scratch.fingerprint():
+        raise AssertionError(
+            f"refresh@chord@{n_nodes}: warm differential mesh diverged "
+            "from the scratch re-derivation after the extra event"
+        )
+    ratio = incremental / full if full else 0.0
+    print(
+        f"refresh chord@{n_nodes}: 1-event delta_tuples_out="
+        f"{incremental} vs full re-derivation={full} "
+        f"(ratio {ratio:.4f})"
+    )
+    return {
+        "workload": "chord",
+        "size": n_nodes,
+        "incremental_delta_tuples_out": incremental,
+        "full_rederive_delta_tuples_out": full,
+        "ratio": round(ratio, 6),
+    }
 
 
 def main(argv=None):
@@ -354,14 +484,17 @@ def main(argv=None):
     sizes = SMOKE_SIZES if args.smoke else FULL_SIZES
     plans = measure_plans()
     results = run_suite(sizes, min_speedup=args.min_speedup)
+    refresh = measure_refresh(max(sizes["chord"]))
     out_path = Path(args.out) if args.out else (
         Path(__file__).resolve().parent / "BENCH_engine.json"
     )
     payload = {
-        "benchmark": "datalog engine: indexed join plans vs seed scans",
+        "benchmark": ("datalog engine: indexed plans and differential "
+                      "deltas vs seed scans"),
         "mode": "smoke" if args.smoke else "full",
         "plans": plans,
         "results": results,
+        "refresh": refresh,
     }
     out_path.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {out_path}")

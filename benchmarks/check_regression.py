@@ -9,6 +9,11 @@ committed baselines in ``benchmarks/baselines/`` and fails the job when
   replayed;
 * a baseline metric disappears from the current output (schema drift must
   not silently retire a gate);
+* ``bench_engine`` misses the three-way engine equivalence verdict
+  (differential ≡ indexed ≡ naive) on any row, emits more output deltas
+  than the naive reference derives, or the 1-event refresh re-derives
+  more than a small fraction of the from-scratch suffix — all checked
+  on the *current* output alone with zero tolerance;
 * ``bench_parallel`` reports any serial ≠ parallel mismatch
   (``results_match: false``) — this one is checked on the *current*
   output alone and tolerates nothing. The same zero tolerance covers
@@ -62,7 +67,12 @@ def engine_metrics(payload):
 
     Join candidates are exact counts of the work the indexed engine
     enumerates — unlike speedups they gate at every size, smoke
-    included. The static guard-placement counts (``plans`` section)
+    included, and the differential arm's delta counters gate the same
+    way: more output deltas or support re-derivations for the same
+    schedule means the delta plane started doing redundant work. The
+    1-event refresh ratio (marginal deltas over a from-scratch
+    re-derivation) is a within-run ratio, portable across machines.
+    The static guard-placement counts (``plans`` section)
     catch a scheduler regression where guards drift from early (pre/mid,
     pruning partial matches) to full-binding (late) even when the tiny
     smoke wall times hide the slowdown."""
@@ -72,9 +82,17 @@ def engine_metrics(payload):
         if "indexed_join_candidates" in row:
             out[f"{key}.indexed_join_candidates"] = (
                 row["indexed_join_candidates"], LOWER_IS_BETTER)
+        for field in ("delta_tuples_out", "support_rederivations"):
+            if field in row:
+                out[f"{key}.{field}"] = (row[field], LOWER_IS_BETTER)
         if row.get("naive_seconds", 0.0) < ENGINE_MIN_NAIVE_SECONDS:
             continue
         out[f"{key}.speedup"] = (row["speedup"], HIGHER_IS_BETTER)
+    refresh = payload.get("refresh")
+    if refresh:
+        out["refresh.incremental_delta_tuples_out"] = (
+            refresh["incremental_delta_tuples_out"], LOWER_IS_BETTER)
+        out["refresh.ratio"] = (refresh["ratio"], LOWER_IS_BETTER)
     for plan in payload.get("plans", []):
         name = plan["program"]
         early = plan.get("guard_pre", 0) + plan.get("guard_mid", 0)
@@ -84,11 +102,25 @@ def engine_metrics(payload):
     return out
 
 
+# The 1-event refresh must re-derive well under this fraction of what a
+# from-scratch replay of the whole schedule derives — the differential
+# engine's reason to exist. Generous enough for the tiny smoke sizes
+# (observed ~0.01 at chord@8); the baseline comparison above tracks
+# drift much more tightly.
+REFRESH_MAX_RATIO = 0.1
+
+
 def engine_hard_checks(payload):
     """Zero-tolerance checks on the current engine output alone: the
     indexed engine must never enumerate more join candidates than the
-    naive scan does (indexes may only skip work), and the static plans
-    section must be present so the guard-schedule gate stays real."""
+    naive scan does (indexes may only skip work); every row must carry
+    the three-way engine equivalence verdict (differential ≡ indexed ≡
+    naive, asserted byte-for-byte by the bench itself); the
+    differential arm must not emit more output deltas than the naive
+    reference derives for the same schedule; the 1-event refresh must
+    stay far cheaper than a from-scratch re-derivation; and the static
+    plans section must be present so the guard-schedule gate stays
+    real."""
     failures = []
     for row in payload.get("results", []):
         indexed = row.get("indexed_join_candidates")
@@ -104,6 +136,48 @@ def engine_hard_checks(payload):
                 f"{row['workload']}@{row['size']}: indexed engine "
                 f"enumerated {indexed} join candidates, more than the "
                 f"naive scan's {naive} (indexes must only skip work)"
+            )
+        key = f"{row['workload']}@{row['size']}"
+        if not row.get("engines_agree", False):
+            failures.append(
+                f"{key}: bench output carries no three-way engine "
+                "equivalence verdict (differential ≡ indexed ≡ naive "
+                "was not checked)"
+            )
+        delta_out = row.get("delta_tuples_out")
+        naive_out = row.get("naive_delta_tuples_out")
+        if delta_out is None or naive_out is None:
+            failures.append(
+                f"{key}: bench output carries no delta counters "
+                "(the differential gate would be vacuous)"
+            )
+        elif delta_out > naive_out:
+            failures.append(
+                f"{key}: differential engine emitted {delta_out} output "
+                f"deltas, more than the naive reference's {naive_out} "
+                "derivations (the delta plane must not do redundant "
+                "work)"
+            )
+    refresh = payload.get("refresh")
+    if not refresh:
+        failures.append(
+            "bench output has no refresh section (the 1-event "
+            "incremental-vs-scratch gate would be vacuous)"
+        )
+    else:
+        incremental = refresh.get("incremental_delta_tuples_out", 0)
+        full = refresh.get("full_rederive_delta_tuples_out", 0)
+        if full <= 0:
+            failures.append(
+                "refresh: from-scratch re-derivation produced no "
+                "deltas (the refresh ratio is meaningless)"
+            )
+        elif incremental > full * REFRESH_MAX_RATIO:
+            failures.append(
+                f"refresh: 1-event refresh re-derived {incremental} "
+                f"deltas vs {full} from scratch — above the "
+                f"{REFRESH_MAX_RATIO:.0%} ceiling (incremental refresh "
+                "must stay far cheaper than replaying the suffix)"
             )
     if not payload.get("plans"):
         failures.append(
@@ -349,7 +423,7 @@ def service_hard_checks(payload):
 
 
 BENCHMARKS = {
-    "BENCH_engine.json": (engine_metrics, None),
+    "BENCH_engine.json": (engine_metrics, engine_hard_checks),
     "BENCH_audit.json": (audit_metrics, None),
     "BENCH_parallel.json": (parallel_metrics, parallel_hard_checks),
     "BENCH_storage.json": (storage_metrics, storage_hard_checks),

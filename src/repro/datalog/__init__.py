@@ -20,7 +20,14 @@ The paper's primary systems are modeled as tuples plus derivation rules
   emits ``+τ/−τ`` notifications for rules whose head lives on another
   node;
 * :mod:`repro.datalog.naive` — :class:`NaiveDatalogApp`, the scan-based
-  reference evaluator the indexed engine is property-tested against.
+  reference evaluator the indexed engine is property-tested against, plus
+  the recompute-from-scratch retraction oracle;
+* :mod:`repro.datalog.zset` — :class:`ZSet`, the weighted z-set delta
+  algebra (multiplicity views, per-batch delta journals);
+* :mod:`repro.datalog.differential` — :class:`DifferentialDatalogApp`,
+  the production engine for replay and the resident view plane:
+  delta-lifted joins plus incrementally maintained aggregate-group
+  membership, trace-identical to the two engines above.
 
 Rules follow the standard declarative-networking localization convention:
 every body atom of a rule shares one location term, which is bound to the
@@ -37,9 +44,11 @@ from repro.datalog.ast import (
     Var, Expr, Atom, Guard, Rule, AggregateRule, MaybeRule, Span,
     choice_tuple,
 )
+from repro.datalog.differential import DifferentialDatalogApp
 from repro.datalog.engine import DatalogApp, Program
 from repro.datalog.naive import NaiveDatalogApp
 from repro.datalog.parser import ParseError, parse_program
+from repro.datalog.zset import ZSet
 
 __all__ = [
     "Var",
@@ -52,8 +61,10 @@ __all__ = [
     "Span",
     "choice_tuple",
     "DatalogApp",
+    "DifferentialDatalogApp",
     "NaiveDatalogApp",
     "Program",
+    "ZSet",
     "Diagnostic",
     "ProgramAnalysis",
     "ProgramAnalysisError",

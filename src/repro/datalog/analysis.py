@@ -19,7 +19,10 @@ structured :class:`Diagnostic`\\ s:
 3. **Stratification** — the predicate dependency graph is condensed into
    strongly connected components; a cycle through a non-monotone
    aggregate (sum/count) is rejected (ND301), recursion through min/max
-   is legal but flagged for a finiteness guard (ND302), and the
+   is legal but flagged for a finiteness guard (ND302) and for its
+   retraction cost — deleting a group's witness makes the differential
+   engine re-derive the optimum from the remaining supports, cascading
+   around the cycle (ND305) — and the
    topological order of the condensation is the stratum order. The
    dialect has no negation construct, so the classic negation check is
    vacuous by construction.
@@ -60,6 +63,7 @@ CODES = {
     "ND202": "column unifies to conflicting value types",
     "ND301": "cycle through a non-monotone aggregate (sum/count)",
     "ND302": "recursion through a min/max aggregate",
+    "ND305": "recursive min/max retraction re-derives from supports",
     "ND401": "guard scheduled before its variables bind",
     "ND501": "dead rule: body can never be populated from the inputs",
     "ND502": "relation unreachable from any declared output",
@@ -537,7 +541,10 @@ def _pass_stratification(rules, diags):
     Returns the stratum order: relations grouped by component, listed
     dependencies-first. Cycles through sum/count are ND301 errors; cycles
     through min/max are ND302 infos (monotone, but derivations must be
-    kept finite by a guard — exactly what the example programs do).
+    kept finite by a guard — exactly what the example programs do), each
+    paired with an ND305 info calling out the retraction cost: on these
+    rules a disappearing witness forces the engine's support
+    re-derivation path, and the recursion can cascade it.
     """
     relations = set()
     edges = {}     # src -> {dst}
@@ -646,6 +653,19 @@ def _pass_stratification(rules, diags):
                 rule=rule_name, predicate=component[0],
                 hint="bound the recursion (e.g. a max-cost or "
                      "path-length guard)",
+            ))
+            diags.append(Diagnostic(
+                "ND305", INFO,
+                f"retractions reaching the min/max aggregate of rule "
+                f"{rule_name} take the support re-derivation path: when "
+                "the group's witness disappears, the engine re-derives "
+                "the optimum from the group's remaining members, and the "
+                f"{{{cycle}}} recursion can cascade that through "
+                "dependent groups",
+                rule=rule_name, predicate=component[0],
+                hint="expected under churn-heavy inputs; the engine's "
+                     "support_rederivations counter measures how often "
+                     "it happens",
             ))
     return strata
 

@@ -1,0 +1,116 @@
+"""The differential evaluator: incrementally maintained aggregate groups.
+
+:class:`DifferentialDatalogApp` is the production engine for replay and
+the resident view plane. It inherits the whole delta-lifted fixpoint from
+:class:`~repro.datalog.engine.DatalogApp` — compiled join plans, z-set
+delta journaling, support-counted retraction — and adds the one piece of
+state the base engine still recomputes from the store on every dirty
+group: **aggregate-group membership**.
+
+The base engine answers "who is in group *g*?" by rescanning *g*'s index
+bucket, re-unifying every candidate against the body atom and re-running
+the guards (:meth:`~repro.datalog.engine.DatalogApp._group_members`).
+This engine maintains the answer directly: the
+:meth:`~repro.datalog.engine.DatalogApp._mark_dirty` hook
+:meth:`_note_membership` fires on every guard-passing member transition —
+including the ones the min/max dirty-marking short-circuit skips — and
+keeps a ``(rule_index, group_key) -> {tup: bindings}`` map. A dirty
+group's recompute then reads its members off the map: no bucket scan, no
+re-unification, no guard re-evaluation.
+
+Determinism is preserved exactly:
+
+* **min/max** groups hand the map's members to the chooser unsorted — the
+  chooser key (aggregate value key, then the member's canonical key) is a
+  total order, so the winner is independent of enumeration order;
+* **sum/count** groups sort members into canonical order first, because
+  the head's residual bindings come from the *first* member and the
+  support tuple lists *all* members in order — both observable — and a
+  float sum folded in a different order is a different float. The map
+  adjusts in place; the fold re-runs canonically so results stay
+  schedule-independent.
+
+The map is **derived state**: it is a function of the store's visible
+set, never snapshotted (snapshots stay bit-identical to the base
+engine's), and rebuilt from the restored store on
+:meth:`restore`. Replay therefore restores a checkpoint exactly as
+before and the membership map simply reappears.
+"""
+
+from repro.datalog.ast import AggregateRule
+from repro.datalog.engine import DatalogApp, _seed_bindings
+
+__all__ = ["DifferentialDatalogApp"]
+
+
+class DifferentialDatalogApp(DatalogApp):
+    """Delta-lifted engine with incrementally maintained group membership."""
+
+    def __init__(self, node_id, program, unsafe_skip_analysis=False):
+        # (rule_index, group_key) -> {member_tup: bindings}. Derived from
+        # the store's visible set; excluded from snapshots, rebuilt on
+        # restore.
+        self._members = {}
+        super().__init__(node_id, program,
+                         unsafe_skip_analysis=unsafe_skip_analysis)
+
+    # ------------------------------------------------------ membership map
+
+    def _note_membership(self, key, tup, bindings, cause):
+        if cause == "appear":
+            self._members.setdefault(key, {})[tup] = bindings
+        else:
+            group = self._members.get(key)
+            if group is not None:
+                group.pop(tup, None)
+                if not group:
+                    del self._members[key]
+
+    def _group_members(self, key, rule, seed):
+        group = self._members.get(key)
+        if not group:
+            return []
+        if rule.func in ("min", "max"):
+            # Chooser key is total (value key, canonical tie-break):
+            # enumeration order cannot change the winner.
+            return [(bindings, tup) for tup, bindings in group.items()]
+        # sum/count: first member's bindings and the full support order
+        # are observable — canonical order, always.
+        return sorted(
+            ((bindings, tup) for tup, bindings in group.items()),
+            key=lambda member: member[1].canonical_key(),
+        )
+
+    def _rebuild_members(self):
+        """Recompute the membership map from the store's visible set.
+
+        Mirrors the base engine's per-group scan once, over every
+        aggregate rule: unify each visible tuple of the body relation,
+        run the guards, and file survivors under their group key.
+        """
+        self._members = {}
+        for rule_index, rule in enumerate(self.program.rules):
+            if not isinstance(rule, AggregateRule):
+                continue
+            seed = _seed_bindings(rule, self.node_id)
+            if seed is None:
+                continue
+            atom = rule.body[0]
+            for tup in self.store.visible_set(atom.relation):
+                bindings = atom.match(tup, seed)
+                if bindings is None:
+                    continue
+                if not all(guard(bindings) for guard in rule.guards):
+                    continue
+                group_key = tuple(
+                    bindings.get(v.name) for v in rule.group_vars
+                )
+                self._members.setdefault(
+                    (rule_index, group_key), {}
+                )[tup] = bindings
+
+    # ------------------------------------------------------------ restore
+
+    def restore(self, snap):
+        super().restore(snap)
+        self._rebuild_members()

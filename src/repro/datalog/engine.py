@@ -25,14 +25,31 @@ triggering tuple touches only the tuples that can actually join with it.
 The scan-based strategy survives as :class:`repro.datalog.naive.
 NaiveDatalogApp`, the reference both implementations are property-tested
 against.
+
+The evaluation model is *differential*: every ``+τ/−τ`` is a weighted
+z-set delta (:mod:`repro.datalog.zset`) run to fixpoint. A per-trigger
+:class:`~repro.datalog.plan.JoinPlan` executes the delta-lifted join
+ΔR⋈S (the triggering tuple is the singleton delta side), retraction is a
+weight −1 update serviced by the store's support counts — never by
+snapshot-restore — and :meth:`DatalogApp.delta_batch` journals a batch of
+events into its net output z-set (a retract-then-reinsert cancels to the
+empty delta). Four counters expose the differential cost model:
+``delta_tuples_in`` (presence toggles consumed), ``delta_tuples_out``
+(derivation changes emitted), ``retractions_applied`` (instances dropped
+by support loss) and ``support_rederivations`` (min/max recomputes forced
+by a disappearing support). :class:`repro.datalog.differential.
+DifferentialDatalogApp` adds incrementally maintained aggregate groups on
+top of this base.
 """
 
 from collections import deque
+from contextlib import contextmanager
 
 from repro.datalog.analysis import analyze
 from repro.datalog.ast import Var, Rule, AggregateRule, MaybeRule
 from repro.datalog.plan import compile_rule
 from repro.datalog.store import TupleStore, DerivationInstance
+from repro.datalog.zset import ZSet
 from repro.model import Ack, Der, Snd, StateMachine, Und, MINUS, PLUS
 from repro.util.errors import ConfigurationError
 
@@ -146,18 +163,31 @@ class DatalogApp(StateMachine):
         #: scheduling pruning work the naive evaluator re-does.
         self.join_candidates = 0
         self.guard_prunes = 0
+        #: Differential cost counters (not part of snapshots, all
+        #: deterministic): input presence toggles consumed, derivation
+        #: changes (Der/Und) emitted, derivation instances dropped
+        #: because a support disappeared, and min/max group recomputes a
+        #: disappearing support forced (the support re-derivation path).
+        #: ``delta_tuples_out`` is the engine's *semantic* work metric —
+        #: bench_engine gates refresh cost against it.
+        self.delta_tuples_in = 0
+        self.delta_tuples_out = 0
+        self.retractions_applied = 0
+        self.support_rederivations = 0
 
     # ------------------------------------------------------------------ API
 
     def handle_insert(self, tup, t):
         outputs = []
         if self.store.add_base(tup, t):
+            self.delta_tuples_in += 1
             self._run_cascade([("appear", tup, None)], t, outputs)
         return outputs
 
     def handle_delete(self, tup, t):
         outputs = []
         if self.store.remove_base(tup):
+            self.delta_tuples_in += 1
             self._run_cascade([("disappear", tup, None)], t, outputs)
         return outputs
 
@@ -167,11 +197,59 @@ class DatalogApp(StateMachine):
         outputs = []
         if msg.polarity == PLUS:
             if self.store.add_belief(msg.tup, msg.src, t):
+                self.delta_tuples_in += 1
                 self._run_cascade([("appear", msg.tup, None)], t, outputs)
         else:
             if self.store.remove_belief(msg.tup, msg.src):
+                self.delta_tuples_in += 1
                 self._run_cascade([("disappear", msg.tup, None)], t, outputs)
         return outputs
+
+    @contextmanager
+    def delta_batch(self):
+        """Collect the net z-set of presence changes over a run of events.
+
+        Usage: ``with app.delta_batch() as delta: ...`` — every
+        ``handle_*`` call inside the block journals its appear (+1) and
+        disappear (−1) transitions into *delta*, which nets out
+        cancelling changes: a tuple retracted and re-derived within the
+        block contributes nothing. Events are still processed one at a
+        time in order (outputs and traces are exactly those of unbatched
+        execution); only the delta accounting is batched. Nestable — the
+        innermost sink wins, mirroring how an enclosing refresh batch
+        owns its epoch delta.
+        """
+        delta = ZSet()
+        previous = self.store.delta_sink
+        self.store.delta_sink = delta
+        try:
+            yield delta
+        finally:
+            self.store.delta_sink = previous
+
+    def apply_delta(self, events, t):
+        """Run a batch of events as one delta to fixpoint.
+
+        *events* is an iterable of ``("ins", tup)``, ``("del", tup)`` or
+        ``("rcv", msg)`` pairs. Returns ``(outputs, delta)`` where
+        *outputs* is the concatenated Der/Und/Snd stream (identical to
+        issuing the events individually) and *delta* the net
+        :class:`~repro.datalog.zset.ZSet` of presence changes.
+        """
+        outputs = []
+        with self.delta_batch() as delta:
+            for kind, payload in events:
+                if kind == "ins":
+                    outputs.extend(self.handle_insert(payload, t))
+                elif kind == "del":
+                    outputs.extend(self.handle_delete(payload, t))
+                elif kind == "rcv":
+                    outputs.extend(self.handle_receive(payload, t))
+                else:
+                    raise ConfigurationError(
+                        f"unknown delta event kind {kind!r}"
+                    )
+        return outputs, delta
 
     # ------------------------------------------------------- cascade engine
 
@@ -208,6 +286,7 @@ class DatalogApp(StateMachine):
         if der_info is not None:
             rule_name, support, replaces = der_info
             outputs.append(Der(tup, rule_name, support, replaces=replaces))
+            self.delta_tuples_out += 1
         if tup.loc != self.node_id:
             outputs.append(Snd(self.make_msg(PLUS, tup, tup.loc, t)))
 
@@ -215,6 +294,7 @@ class DatalogApp(StateMachine):
         if der_info is not None:
             rule_name, support, _ = der_info
             outputs.append(Und(tup, rule_name, support))
+            self.delta_tuples_out += 1
         if tup.loc != self.node_id:
             outputs.append(Snd(self.make_msg(MINUS, tup, tup.loc, t)))
 
@@ -226,7 +306,7 @@ class DatalogApp(StateMachine):
         for rule_index, rule, pos in self.program.triggers_for(tup.relation):
             if isinstance(rule, AggregateRule):
                 self._mark_dirty(rule_index, rule, tup,
-                                 dirty_groups, dirty_seen)
+                                 dirty_groups, dirty_seen, "appear")
                 continue
             seed = _seed_bindings(rule, self.node_id)
             if seed is None:
@@ -247,54 +327,16 @@ class DatalogApp(StateMachine):
     def _matches_from(self, rule_index, rule, pos, bound, tup):
         """Full, guard-passing body matches with position *pos* pinned.
 
-        Executes the rule's compiled :class:`~repro.datalog.plan.JoinPlan`
-        for trigger position *pos*: each step probes one body atom through
-        a secondary hash index keyed by the values already bound, and
-        scheduled guards prune partial matches as early as their variables
-        allow. Returns (bindings, support) pairs — *support* lists the
-        matched ground tuple per body atom, in body order — sorted into
-        the same canonical order the interpretive scan produced, which is
-        what keeps replay byte-identical (DESIGN.md).
+        Delegates to the rule's compiled per-trigger
+        :meth:`~repro.datalog.plan.JoinPlan.execute` — the delta-lifted
+        join ΔR⋈S: the triggering tuple is the singleton delta side, the
+        remaining body atoms probe the store's secondary hash indexes in
+        SIPS order, and results come back in the canonical support order
+        that keeps replay byte-identical (DESIGN.md).
         """
-        plan = self.program.plans[rule_index].joins[pos]
-        for guard in plan.pre_guards:
-            if not guard(bound):
-                self.guard_prunes += 1
-                return ()
-        results = []
-        chosen = [None] * len(rule.body)
-        chosen[pos] = tup
-        store = self.store
-
-        def run(step_index, bindings):
-            if step_index == len(plan.steps):
-                results.append((bindings, tuple(chosen)))
-                return
-            step = plan.steps[step_index]
-            if step.index_positions:
-                candidates = store.index_lookup(
-                    step.atom.relation, step.index_positions,
-                    step.key(bindings),
-                )
-            else:
-                candidates = store.visible_set(step.atom.relation)
-            for candidate in candidates:
-                self.join_candidates += 1
-                extended = step.atom.match(candidate, bindings)
-                if extended is None:
-                    continue
-                if not all(guard(extended) for guard in step.guards):
-                    self.guard_prunes += 1
-                    continue
-                chosen[step.body_pos] = candidate
-                run(step_index + 1, extended)
-                chosen[step.body_pos] = None
-
-        run(0, bound)
-        results.sort(
-            key=lambda pair: tuple(s.canonical_key() for s in pair[1])
+        return self.program.plans[rule_index].joins[pos].execute(
+            self.store, bound, tup, self
         )
-        return results
 
     # -- disappearance: retract dependent derivations -------------------------
 
@@ -304,8 +346,9 @@ class DatalogApp(StateMachine):
         for rule_index, rule, _pos in self.program.triggers_for(tup.relation):
             if isinstance(rule, AggregateRule):
                 self._mark_dirty(rule_index, rule, tup,
-                                 dirty_groups, dirty_seen)
+                                 dirty_groups, dirty_seen, "disappear")
         removed = self.store.remove_derivations_supported_by(tup)
+        self.retractions_applied += len(removed)
         for head, instance, disappeared in removed:
             if disappeared:
                 worklist.append(
@@ -314,7 +357,10 @@ class DatalogApp(StateMachine):
 
     # -- aggregates ---------------------------------------------------------
 
-    def _mark_dirty(self, rule_index, rule, tup, dirty_groups, dirty_seen):
+    def _mark_dirty(self, rule_index, rule, tup, dirty_groups, dirty_seen,
+                    cause):
+        """Schedule one aggregate group for recompute after *tup*'s
+        *cause* ("appear"/"disappear") transition."""
         seed = _seed_bindings(rule, self.node_id)
         if seed is None:
             return
@@ -328,14 +374,27 @@ class DatalogApp(StateMachine):
             return
         group_key = tuple(bindings.get(v.name) for v in rule.group_vars)
         key = (rule_index, group_key)
+        # Membership bookkeeping must see every member transition, even
+        # the ones the dirty-marking below skips (a no-op in this base
+        # engine; the differential engine maintains group state here).
+        self._note_membership(key, tup, bindings, cause)
         if key in dirty_seen:
             return
-        if rule.func in ("min", "max") and self._agg_unaffected(
-            rule_index, rule, key, tup, bindings
-        ):
-            return
+        if rule.func in ("min", "max"):
+            if self._agg_unaffected(rule_index, rule, key, tup, bindings):
+                return
+            if cause == "disappear":
+                # The group may have lost its witness: the recompute
+                # re-derives the optimum from the support set.
+                self.support_rederivations += 1
         dirty_seen.add(key)
         dirty_groups.append(key)
+
+    def _note_membership(self, key, tup, bindings, cause):
+        """Hook for engines that maintain aggregate-group membership
+        incrementally (:class:`~repro.datalog.differential.
+        DifferentialDatalogApp`). Called for every guard-passing member
+        transition, including those the dirty-marking skips."""
 
     def _agg_unaffected(self, rule_index, rule, key, tup, bindings):
         """True when a min/max group provably cannot change.
@@ -371,21 +430,7 @@ class DatalogApp(StateMachine):
         seed = _seed_bindings(rule, self.node_id)
         if seed is None:
             return
-        members = []
-        atom = rule.body[0]
-        for candidate in sorted(
-            self._group_candidates(rule_index, rule, group_key),
-            key=lambda c: c.canonical_key(),
-        ):
-            bindings = atom.match(candidate, seed)
-            if bindings is None:
-                continue
-            if not all(guard(bindings) for guard in rule.guards):
-                continue
-            cand_key = tuple(bindings.get(v.name) for v in rule.group_vars)
-            if cand_key != group_key:
-                continue
-            members.append((bindings, candidate))
+        members = self._group_members(key, rule, seed)
 
         old = self._agg_current.get(key)
         new_head, new_support, new_bindings = self._aggregate(
@@ -413,6 +458,32 @@ class DatalogApp(StateMachine):
                 worklist.append(
                     ("appear", new_head, (rule.name, new_support, None))
                 )
+
+    def _group_members(self, key, rule, seed):
+        """One group's members as ``[(bindings, tup)]`` in canonical
+        candidate order, by rescanning the group's index bucket: every
+        candidate is re-unified against the body atom, guard-checked,
+        and filtered to the exact group key (bucket collisions — or the
+        full-relation fallback — may hold other groups' tuples). The
+        differential engine overrides this with incrementally maintained
+        membership."""
+        rule_index, group_key = key
+        members = []
+        atom = rule.body[0]
+        for candidate in sorted(
+            self._group_candidates(rule_index, rule, group_key),
+            key=lambda c: c.canonical_key(),
+        ):
+            bindings = atom.match(candidate, seed)
+            if bindings is None:
+                continue
+            if not all(guard(bindings) for guard in rule.guards):
+                continue
+            cand_key = tuple(bindings.get(v.name) for v in rule.group_vars)
+            if cand_key != group_key:
+                continue
+            members.append((bindings, candidate))
+        return members
 
     def _group_candidates(self, rule_index, rule, group_key):
         """Candidate member tuples of one aggregate group (unordered).

@@ -89,6 +89,60 @@ class JoinPlan:
         self.pre_guards = pre_guards
         self.steps = steps
 
+    def execute(self, store, bound, trigger_tup, app):
+        """Run this plan's delta-lifted join ΔR ⋈ S ⋈ … for one trigger.
+
+        *trigger_tup* is the singleton delta side, pinned at
+        ``trigger_pos``; *bound* is the trigger atom's unification with
+        it. Each step probes one remaining body atom through a
+        :class:`~repro.datalog.store.TupleStore` secondary hash index
+        keyed by the values already bound, and scheduled guards prune
+        partial matches as early as their variables allow. Returns
+        (bindings, support) pairs — *support* lists the matched ground
+        tuple per body atom, in body order — sorted into the canonical
+        support order the interpretive scan produced, which is what
+        keeps replay byte-identical (DESIGN.md). *app* accumulates the
+        evaluation counters (``join_candidates``, ``guard_prunes``).
+        """
+        for guard in self.pre_guards:
+            if not guard(bound):
+                app.guard_prunes += 1
+                return ()
+        results = []
+        chosen = [None] * len(self.rule.body)
+        chosen[self.trigger_pos] = trigger_tup
+        steps = self.steps
+
+        def run(step_index, bindings):
+            if step_index == len(steps):
+                results.append((bindings, tuple(chosen)))
+                return
+            step = steps[step_index]
+            if step.index_positions:
+                candidates = store.index_lookup(
+                    step.atom.relation, step.index_positions,
+                    step.key(bindings),
+                )
+            else:
+                candidates = store.visible_set(step.atom.relation)
+            for candidate in candidates:
+                app.join_candidates += 1
+                extended = step.atom.match(candidate, bindings)
+                if extended is None:
+                    continue
+                if not all(guard(extended) for guard in step.guards):
+                    app.guard_prunes += 1
+                    continue
+                chosen[step.body_pos] = candidate
+                run(step_index + 1, extended)
+                chosen[step.body_pos] = None
+
+        run(0, bound)
+        results.sort(
+            key=lambda pair: tuple(s.canonical_key() for s in pair[1])
+        )
+        return results
+
     def __repr__(self):
         return (
             f"JoinPlan({self.rule.name}@{self.trigger_pos}: "

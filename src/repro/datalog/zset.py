@@ -1,0 +1,99 @@
+"""Weighted z-sets: the delta algebra under the differential engine.
+
+A **z-set** maps tuples to integer weights (DBSP's Z-set / weighted
+multiset; see SNIPPETS.md Snippet 2, ``theSherwood/pydbsp``). The engine
+uses them in two roles:
+
+* as the **multiplicity view** of a relation — a tuple's weight in the
+  store is its base insertion count plus its derivation instances plus
+  its believed notifications (:meth:`repro.datalog.store.TupleStore.
+  weight`), and it is *present* exactly while that weight is positive;
+* as the **delta journal** of a batch — while a sink is installed
+  (:meth:`~repro.datalog.engine.DatalogApp.delta_batch`), every presence
+  appear records ``+1`` and every disappear ``−1``, so the batch's net
+  semantic change is the surviving non-zero entries. A retraction is a
+  weight ``−1`` addition, and a retract-then-reinsert cancels to the
+  empty z-set — the algebraic form of the engine's "deletion needs no
+  snapshot-restore" contract.
+
+Weights sum under :meth:`add`; entries reaching weight 0 are dropped
+eagerly so emptiness and iteration reflect the *net* delta. Iteration is
+canonical (tuples ordered by :meth:`~repro.model.Tup.canonical_key`), so
+consumers of a delta are deterministic like every other observable.
+"""
+
+__all__ = ["ZSet"]
+
+
+class ZSet:
+    """An integer-weighted set of tuples with group (+/-) structure."""
+
+    __slots__ = ("_weights",)
+
+    def __init__(self, entries=()):
+        self._weights = {}
+        for item, weight in entries:
+            self.add(item, weight)
+
+    def add(self, item, weight=1):
+        """Sum *weight* onto *item*'s entry, dropping it when it nets 0."""
+        if weight == 0:
+            return
+        total = self._weights.get(item, 0) + weight
+        if total == 0:
+            self._weights.pop(item, None)
+        else:
+            self._weights[item] = total
+
+    def weight(self, item):
+        return self._weights.get(item, 0)
+
+    def is_empty(self):
+        return not self._weights
+
+    def __bool__(self):
+        return bool(self._weights)
+
+    def __len__(self):
+        """Support size: tuples with a non-zero weight."""
+        return len(self._weights)
+
+    def __contains__(self, item):
+        return item in self._weights
+
+    def items(self):
+        """(tuple, weight) pairs in canonical tuple order."""
+        return sorted(
+            self._weights.items(), key=lambda pair: pair[0].canonical_key()
+        )
+
+    def __iter__(self):
+        return iter(item for item, _weight in self.items())
+
+    def inserts(self):
+        """Tuples with positive weight, in canonical order."""
+        return [item for item, weight in self.items() if weight > 0]
+
+    def retractions(self):
+        """Tuples with negative weight, in canonical order."""
+        return [item for item, weight in self.items() if weight < 0]
+
+    def negate(self):
+        return ZSet((item, -weight) for item, weight in self._weights.items())
+
+    def __add__(self, other):
+        out = ZSet(self._weights.items())
+        for item, weight in other._weights.items():
+            out.add(item, weight)
+        return out
+
+    def __eq__(self, other):
+        return isinstance(other, ZSet) and self._weights == other._weights
+
+    def __hash__(self):  # pragma: no cover - z-sets are mutable
+        raise TypeError("ZSet is unhashable (mutable)")
+
+    def __repr__(self):
+        inner = ", ".join(f"{item!r}: {weight:+d}"
+                          for item, weight in self.items())
+        return f"ZSet({{{inner}}})"

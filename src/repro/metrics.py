@@ -314,6 +314,16 @@ class QueryStats:
         # because the view stayed worker-resident.
         self.shm_bytes = 0
         self.pickle_bytes_avoided = 0
+        # Differential-engine work done inside replays: presence toggles
+        # the replayed machines consumed, Der/Und derivation changes they
+        # emitted, derivation instances dropped because a support
+        # disappeared, and min/max recomputes forced by a disappearing
+        # support. Deterministic per replay, so they participate in the
+        # serial ≡ parallel counters() projection.
+        self.delta_tuples_in = 0
+        self.delta_tuples_out = 0
+        self.retractions_applied = 0
+        self.support_rederivations = 0
 
     def downloaded_bytes(self):
         return self.log_bytes + self.authenticator_bytes + self.checkpoint_bytes
@@ -394,7 +404,7 @@ class ServiceMeter:
         # daemon query plane
         "refresh_batches", "requests_batched", "queries_served",
         "refreshes_served", "subscriptions_opened", "watch_evaluations",
-        "alerts_emitted", "alerts_dropped",
+        "watch_evaluations_skipped", "alerts_emitted", "alerts_dropped",
     )
 
     def __init__(self):

@@ -534,8 +534,19 @@ class MonitorDaemon:
 
     def _refresh_and_eval(self):
         """(qp pool) One refresh pass plus one evaluation of every unique
-        watch — N subscribers of one vertex cost one query per epoch."""
+        watch — N subscribers of one vertex cost one query per epoch.
+
+        The refresh's per-epoch change set gates the evaluations: when no
+        node's view changed (every delta fetch came back empty, no
+        verdict flipped), a watch already evaluated in an earlier epoch
+        cannot answer differently, so its stored outcome is reused and
+        ``watch_evaluations_skipped`` ticks instead. A watch with no
+        stored outcome (new subscription, or its last evaluation errored
+        out before storing) is always evaluated.
+        """
         epoch = self.qp.refresh()
+        changed = self.qp.last_refresh_changed
+        quiet = changed is not None and not changed
         outcomes = {}
         wanted = {}
         for sub in self._subs.values():
@@ -544,6 +555,10 @@ class MonitorDaemon:
             for key, spec in zip(sub.keys, sub.watches):
                 wanted.setdefault(key, spec)
         for key, spec in wanted.items():
+            if quiet and key in self._watch_state:
+                outcomes[key] = self._watch_state[key]
+                self.meter.watch_evaluations_skipped += 1
+                continue
             outcomes[key] = self._eval_watch(spec)
             self.meter.watch_evaluations += 1
         self._watch_state.update(outcomes)

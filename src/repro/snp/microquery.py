@@ -611,6 +611,14 @@ class MicroQuerier:
         self.evidence = EvidenceStore()
         self.stats = QueryStats()
         self._views = {}
+        # Nodes whose view *semantically* changed in the most recent
+        # refresh() — status flipped or the verified head advanced. The
+        # per-epoch change set the monitor's watch evaluation consumes: an
+        # empty set means the refresh was a no-op (every delta fetch came
+        # back empty), so standing watches need no re-evaluation. None
+        # until the first refresh (callers must assume "anything may have
+        # changed").
+        self.last_refresh_changed = None
         # Authenticators (by signature bytes) already verified to lie on a
         # node's trusted chain. A refresh extends that same chain, so these
         # need neither re-verification nor re-comparison — and, not being
@@ -757,11 +765,27 @@ class MicroQuerier:
             return None
         view = self._views.get(node_id)
         if view is None:
-            return self.view_of(node_id)
+            built = self.view_of(node_id)
+            self.last_refresh_changed = {node_id}
+            return built
         self._refresh_batch((node_id,))
         return self._views[node_id]
 
+    @staticmethod
+    def _view_signature(view):
+        """What a watch can observe of a view: verdict + verified head.
+
+        Raw stats are no proxy — ``delta_fetches`` ticks even when the
+        suffix comes back empty — so change detection compares these
+        signatures across a refresh instead.
+        """
+        return (view.status, view.head_index, view.head_hash)
+
     def _refresh_batch(self, node_ids):
+        before = {
+            node_id: self._view_signature(self._views[node_id])
+            for node_id in node_ids
+        }
         batched, jobs = [], []
         for node_id in node_ids:
             view = self._views[node_id]
@@ -774,6 +798,11 @@ class MicroQuerier:
             else:
                 jobs.append(_BuildJob(self, node_id))
         self._run_batch(batched, jobs)
+        self.last_refresh_changed = {
+            node_id for node_id in node_ids
+            if node_id not in self._views
+            or self._view_signature(self._views[node_id]) != before[node_id]
+        }
 
     def _run_batch(self, node_ids, jobs):
         """Run one batch of build/extend jobs and finalize each outcome.

@@ -194,11 +194,20 @@ class QueryProcessor:
         :meth:`repro.snp.microquery.MicroQuerier.refresh`). Returns the
         new epoch number; the per-node refresh cost lands in ``mq.stats``
         like any other retrieval, so the next query's stats delta includes
-        it only if the caller measures across the refresh.
+        it only if the caller measures across the refresh. The epoch's
+        semantic change set is exposed as :attr:`last_refresh_changed`.
         """
         self.mq.refresh(node_id)
         self.epoch += 1
         return self.epoch
+
+    @property
+    def last_refresh_changed(self):
+        """Nodes whose view changed in the most recent :meth:`refresh`
+        (verdict flipped or verified head advanced) — the per-epoch
+        output delta. ``None`` before the first refresh: consumers must
+        then assume anything may have changed."""
+        return self.mq.last_refresh_changed
 
     def low_water_marks(self):
         """Per-node verified heads, advertised to the retention handshake

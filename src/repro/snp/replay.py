@@ -37,6 +37,7 @@ deterministic at all.
 """
 
 import time
+from contextlib import nullcontext
 
 from repro.crypto.hashing import HashChain
 from repro.model import Ack
@@ -210,13 +211,21 @@ class ReplayResult:
     Retains the :class:`~repro.provgraph.gca.GraphConstructor` so a later
     verified log *suffix* can be replayed onto the same state with
     :func:`extend_replay` instead of rebuilding from entry 1.
+
+    ``last_delta`` is the net :class:`~repro.datalog.zset.ZSet` of
+    presence changes the most recent :func:`extend_replay` applied to the
+    target node's machine (None before the first extension, or when the
+    machine does not support delta batching): the per-epoch output delta
+    the resident view plane and the monitor's watch evaluation consume.
     """
 
     __slots__ = ("node", "graph", "machine", "events_replayed",
-                 "replay_seconds", "hashes", "response", "failure", "gca")
+                 "replay_seconds", "hashes", "response", "failure", "gca",
+                 "last_delta")
 
     def __init__(self, node, graph, machine, events_replayed, replay_seconds,
                  hashes, response, failure=None, gca=None):
+        self.last_delta = None
         self.node = node
         self.graph = graph
         self.machine = machine
@@ -232,15 +241,41 @@ class ReplayResult:
         return self.failure is None
 
 
-def _drive_gca(gca, node_id, entries):
+#: Differential-engine cost counters harvested off replayed machines into
+#: the querier's QueryStats (each is deterministic per replayed segment).
+_DELTA_COUNTERS = (
+    "delta_tuples_in", "delta_tuples_out", "retractions_applied",
+    "support_rederivations",
+)
+
+
+def _delta_counter_totals(gca):
+    """Sum the differential counters over every machine the GCA holds.
+
+    New machines start all-zero, so a before/after difference of these
+    totals is exactly the work one drive did — even when the drive itself
+    lazily created machines."""
+    totals = dict.fromkeys(_DELTA_COUNTERS, 0)
+    for machine in gca.machines.values():
+        for field in _DELTA_COUNTERS:
+            totals[field] += getattr(machine, field, 0)
+    return totals
+
+
+def _drive_gca(gca, node_id, entries, stats=None):
     """Feed *entries* (converted to history events) through *gca*,
     capturing crashes as a replay failure — the shared core of
     :func:`replay_segment` and :func:`extend_replay`, kept single so the
     incremental replay can never diverge from the full one.
 
+    *stats* (a QueryStats) receives the replay cost: wall-clock seconds,
+    events processed, and the differential engine's delta counters
+    accumulated by the replayed machines during this drive.
+
     Returns ``(events_processed, seconds, failure)``.
     """
     events = log_entries_to_history(node_id, entries)
+    before = None if stats is None else _delta_counter_totals(gca)
     started = time.perf_counter()
     failure = None
     processed = 0
@@ -250,7 +285,15 @@ def _drive_gca(gca, node_id, entries):
             processed += 1
     except Exception as exc:  # hostile log crashed the replay machinery
         failure = ReplayDivergence(node_id, repr(exc))
-    return processed, time.perf_counter() - started, failure
+    elapsed = time.perf_counter() - started
+    if stats is not None:
+        stats.replay_seconds += elapsed
+        stats.events_replayed += processed
+        after = _delta_counter_totals(gca)
+        for field in _DELTA_COUNTERS:
+            setattr(stats, field,
+                    getattr(stats, field) + after[field] - before[field])
+    return processed, elapsed, failure
 
 
 def replay_segment(node_id, response, app_factory, t_prop,
@@ -275,10 +318,8 @@ def replay_segment(node_id, response, app_factory, t_prop,
         machine = gca.machine(node_id)
         machine.restore(chk.aux["snapshot"])
         gca.seed_node(node_id, chk.aux["extant"], chk.aux["believed"])
-    processed, elapsed, failure = _drive_gca(gca, node_id, response.entries)
-    if stats is not None:
-        stats.replay_seconds += elapsed
-        stats.events_replayed += processed
+    processed, elapsed, failure = _drive_gca(gca, node_id, response.entries,
+                                             stats=stats)
     return ReplayResult(
         node=node_id,
         graph=gca.graph,
@@ -316,10 +357,21 @@ def extend_replay(node_id, result, response,
             "cannot extend"
         )
     gca.known_alarm_msg_ids = known_alarm_msg_ids
-    processed, elapsed, failure = _drive_gca(gca, node_id, response.entries)
-    if stats is not None:
-        stats.replay_seconds += elapsed
-        stats.events_replayed += processed
+    # The suffix runs as ONE delta batch on the target node's machine:
+    # events still apply one at a time (the graph and traces are exactly
+    # those of an unbatched drive — and of a full re-replay), but the
+    # machine journals its presence changes into a z-set, so the net
+    # semantic change of the whole extension comes out as result.last_delta
+    # with retract-then-rederive churn cancelled. No snapshot is taken or
+    # restored anywhere on this path.
+    machine = gca.machine(node_id)
+    batch = (machine.delta_batch() if hasattr(machine, "delta_batch")
+             else nullcontext(None))
+    with batch as delta:
+        processed, elapsed, failure = _drive_gca(
+            gca, node_id, response.entries, stats=stats
+        )
+    result.last_delta = delta
     result.events_replayed += processed
     result.replay_seconds += elapsed
     result.machine = gca.machines.get(node_id)

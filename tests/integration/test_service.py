@@ -239,6 +239,43 @@ class TestSubscriptions:
         pusher.close()
 
 
+    def test_quiet_refresh_skips_watch_evaluation(self, monitor):
+        """A refresh that changes no node's view (no new pushes, every
+        delta fetch empty) reuses each watch's stored outcome instead of
+        re-running the query — and a refresh that *does* carry a
+        downgrade still alerts, so the skip never masks a change."""
+        dep, nodes = paper_deployment(ForkingNode)
+        pusher = make_pusher(dep, monitor)
+        pusher.push_once()
+
+        client = MonitorClient("127.0.0.1", monitor.daemon.http_port)
+        watch = tup_spec(best_cost("c", "d", 5))
+        with client.subscribe([watch]) as stream:
+            assert stream.next_event(timeout=20)["type"] == "subscribed"
+            stream.events_until(
+                lambda e: e.get("type") == "state", timeout=20)
+
+            skipped_before = monitor.daemon.meter.watch_evaluations_skipped
+            evaluated_before = monitor.daemon.meter.watch_evaluations
+            for _ in range(3):   # nothing pushed: views cannot change
+                assert client.refresh()["ok"]
+            assert (monitor.daemon.meter.watch_evaluations_skipped
+                    - skipped_before == 3)
+            assert (monitor.daemon.meter.watch_evaluations
+                    == evaluated_before)
+
+            nodes["b"].fork_log(keep_upto=3)
+            nodes["b"].insert(link("b", "e", 9))
+            dep.run()
+            pusher.push_once()
+            seen = stream.events_until(
+                lambda e: e.get("type") == "alert", timeout=20)
+            assert seen[-1]["to"] == "red"
+            assert (monitor.daemon.meter.watch_evaluations
+                    > evaluated_before)
+        pusher.close()
+
+
 class TestDegradation:
     def test_shed_keeps_delta_and_next_tick_polls(self, monitor):
         dep, _nodes = paper_deployment()

@@ -70,6 +70,10 @@ CORPUS = [
      "R1: best(@X, min<K>) :- p(@X, K).\n"
      "R2: p(@X, K) :- best(@X, K).",
      "ND302", INFO),
+    ("minmax_recursion_flags_retraction_path",
+     "R1: best(@X, min<K>) :- p(@X, K).\n"
+     "R2: p(@X, K) :- best(@X, K).",
+     "ND305", INFO),
     ("dead_recursive_rules",
      "input a/1.\n"
      "output p.\n"
@@ -209,6 +213,25 @@ class TestStrata:
         )
         stratum = next(s for s in analysis.strata if "p" in s)
         assert "best" in stratum
+
+    def test_nd305_paired_with_nd302_on_recursive_minmax(self):
+        analysis = _analysis(
+            "R1: best(@X, min<K>) :- p(@X, K).\n"
+            "R2: p(@X, K) :- best(@X, K)."
+        )
+        assert len(analysis.by_code("ND302")) == 1
+        hits = analysis.by_code("ND305")
+        assert len(hits) == 1
+        assert hits[0].severity == INFO
+        assert hits[0].rule == "R1"
+        assert "support" in hits[0].message
+
+    def test_nd305_not_emitted_for_acyclic_minmax(self):
+        analysis = _analysis(
+            "R1: best(@X, min<K>) :- p(@X, K)."
+        )
+        assert not analysis.by_code("ND302")
+        assert not analysis.by_code("ND305")
 
 
 class TestSipsValidator:
